@@ -1,0 +1,30 @@
+"""Ablation (Section 4.3): LLC banking degree in the NOC-Out organization.
+
+The paper chooses 16 banks (two per LLC tile) after observing that four
+cores per bank performs within ~2 % of one core per bank.
+"""
+
+from repro.experiments import ablations
+
+from conftest import emit, run_once
+
+
+def test_llc_banking_ablation(benchmark, run_settings):
+    throughput = run_once(
+        benchmark,
+        ablations.run_llc_banking_ablation,
+        settings=run_settings.scaled(0.7),
+    )
+    emit(
+        "Ablation: LLC banks per NOC-Out tile (Data Serving)",
+        ablations.render_ablation(
+            throughput, "NOC-Out LLC banking", "Banks per LLC tile"
+        ).render(),
+    )
+
+    most_banked = throughput[max(throughput)]
+    paper_choice = throughput[2]
+    # Two banks per tile stays within a few percent of the most banked design.
+    assert paper_choice >= 0.9 * most_banked
+    # Banking never hurts by construction of bank-level parallelism.
+    assert throughput[max(throughput)] >= throughput[min(throughput)] * 0.95

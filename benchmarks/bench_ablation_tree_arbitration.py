@@ -1,0 +1,25 @@
+"""Ablation (Section 4.1): static-priority vs. round-robin tree arbitration."""
+
+from repro.experiments import ablations
+
+from conftest import emit, run_once
+
+
+def test_tree_arbitration_ablation(benchmark, run_settings):
+    throughput = run_once(
+        benchmark,
+        ablations.run_tree_arbitration_ablation,
+        settings=run_settings.scaled(0.7),
+    )
+    emit(
+        "Ablation: reduction/dispersion tree arbitration (Data Serving)",
+        ablations.render_ablation(
+            throughput, "NOC-Out tree arbitration", "Arbitration policy"
+        ).render(),
+    )
+
+    static = throughput["static_priority"]
+    round_robin = throughput["round_robin"]
+    # The paper argues static priority works well given the low MLP of
+    # scale-out workloads; it should be within a few percent of round-robin.
+    assert static >= 0.9 * round_robin

@@ -1,0 +1,27 @@
+"""Figure 1: per-core performance vs. core count, ideal vs. mesh interconnect."""
+
+from repro.experiments import fig1_scaling
+
+from conftest import emit, run_once
+
+
+def test_figure1_core_count_scaling(benchmark, run_settings):
+    curves = run_once(
+        benchmark,
+        fig1_scaling.run_figure1,
+        settings=run_settings.scaled(0.6),
+    )
+    emit(
+        "Figure 1: per-core performance vs. core count",
+        fig1_scaling.render_figure1(curves).render(),
+    )
+
+    penalty = fig1_scaling.mesh_penalty(curves, core_count=64)
+    print(f"Mesh penalty vs. ideal at 64 cores: {penalty:.1%} (paper: ~22%)")
+
+    for workload, data in curves.items():
+        # Per-core performance degrades as the chip grows...
+        assert data["mesh"][64] < data["mesh"][1] * 1.05
+        # ...and the mesh is never faster than the ideal fabric at scale.
+        assert data["mesh"][64] <= data["ideal"][64] * 1.02
+    assert penalty > 0.05

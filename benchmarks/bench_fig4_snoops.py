@@ -1,0 +1,15 @@
+"""Figure 4: percentage of LLC accesses that trigger a snoop message."""
+
+from repro.experiments import fig4_snoops
+
+from conftest import emit, run_once
+
+
+def test_figure4_snoop_rates(benchmark, run_settings):
+    rates = run_once(benchmark, fig4_snoops.run_figure4, settings=run_settings)
+    emit("Figure 4: snoop-triggering LLC accesses (%)", fig4_snoops.render_figure4(rates).render())
+
+    # The paper's core observation: coherence activity is negligible, with
+    # on the order of two snoop-triggering accesses per 100 LLC accesses.
+    assert all(rate < 10.0 for rate in rates.values())
+    assert 0.0 < rates["Mean"] < 5.0

@@ -1,0 +1,30 @@
+"""Section 6.4: NoC power analysis."""
+
+from repro.config.noc import Topology
+from repro.experiments import power_analysis
+
+from conftest import emit, run_once
+
+
+def test_noc_power_analysis(benchmark, run_settings):
+    reports = run_once(
+        benchmark,
+        power_analysis.run_power_analysis,
+        settings=run_settings.scaled(0.7),
+    )
+    emit("Section 6.4: NoC power", power_analysis.render_power(reports).render())
+
+    averages = power_analysis.average_power(reports)
+    fbfly = averages[Topology.FLATTENED_BUTTERFLY.value]
+    nocout = averages[Topology.NOC_OUT.value]
+    # Paper: the NoC stays well under 2 W in every organization (cores alone
+    # exceed 60 W), the links dominate the energy, and NOC-Out needs less
+    # power than the richly connected flattened butterfly.  (Our mesh lands
+    # below the paper's 1.8 W because its lower throughput injects fewer
+    # flits per second - see EXPERIMENTS.md.)
+    assert all(power < 4.0 for power in averages.values())
+    assert nocout < fbfly
+    # Links dominate the energy in every organization.
+    for per_topology in reports.values():
+        for report in per_topology.values():
+            assert report.link_energy_j >= 0.4 * report.total_energy_j

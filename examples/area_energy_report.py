@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Area and energy report for the three NoC organizations.
+
+Regenerates Figure 8 (area breakdown) from the static topology descriptors
+and Section 6.4 (NoC power) from the switching activity of a short Data
+Serving run on each organization.
+
+Run with::
+
+    python examples/area_energy_report.py
+"""
+
+from repro import NocAreaModel, NocEnergyModel, build_chip, presets
+from repro.analysis.report import ReportTable
+from repro.config.noc import Topology
+
+TOPOLOGIES = (Topology.MESH, Topology.FLATTENED_BUTTERFLY, Topology.NOC_OUT)
+
+
+def area_report() -> ReportTable:
+    model = NocAreaModel()
+    table = ReportTable(
+        ["Organization", "Links", "Buffers", "Crossbars", "Total (mm2)"],
+        title="Figure 8: NoC area breakdown",
+    )
+    for topology in TOPOLOGIES:
+        breakdown = model.breakdown(presets.baseline_system(topology))
+        table.add_row(
+            topology.value,
+            breakdown.links_mm2,
+            breakdown.buffers_mm2,
+            breakdown.crossbars_mm2,
+            breakdown.total_mm2,
+        )
+    return table
+
+
+def power_report() -> ReportTable:
+    energy_model = NocEnergyModel()
+    workload = presets.workload("Data Serving")
+    table = ReportTable(
+        ["Organization", "NoC power (W)", "Link share"],
+        title="Section 6.4: NoC power on Data Serving",
+    )
+    for topology in TOPOLOGIES:
+        config = presets.baseline_system(topology).with_workload(workload)
+        chip = build_chip(config)
+        results = chip.run_experiment(
+            warmup_references=2000, detailed_warmup_cycles=800, measure_cycles=4000
+        )
+        report = energy_model.report(results.network_activity, results.cycles)
+        link_share = report.link_energy_j / report.total_energy_j if report.total_energy_j else 0.0
+        table.add_row(topology.value, report.total_power_w, f"{100 * link_share:.0f}%")
+    return table
+
+
+def main() -> None:
+    print(area_report().render())
+    print()
+    print(power_report().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Compare the mesh, flattened butterfly and NOC-Out on one workload.
+
+This is a miniature version of Figure 7: it runs the same workload on the
+three evaluated chip organizations, normalises throughput to the mesh and
+also reports the NoC area of each design (Figure 8) so the
+performance/area trade-off the paper argues for is visible in one table.
+
+Run with::
+
+    python examples/topology_comparison.py [workload-name]
+"""
+
+import sys
+
+from repro import NocAreaModel, build_chip, presets
+from repro.analysis.report import ReportTable
+from repro.config.noc import Topology
+
+
+def main() -> None:
+    workload_name = sys.argv[1] if len(sys.argv) > 1 else "Data Serving"
+    workload = presets.workload(workload_name)
+    area_model = NocAreaModel()
+
+    rows = []
+    mesh_ipc = None
+    for topology in (Topology.MESH, Topology.FLATTENED_BUTTERFLY, Topology.NOC_OUT):
+        config = presets.baseline_system(topology).with_workload(workload)
+        chip = build_chip(config)
+        results = chip.run_experiment(
+            warmup_references=2500, detailed_warmup_cycles=1000, measure_cycles=5000
+        )
+        if mesh_ipc is None:
+            mesh_ipc = results.throughput_ipc
+        rows.append(
+            (
+                topology.value,
+                results.throughput_ipc,
+                results.throughput_ipc / mesh_ipc,
+                results.network_mean_latency,
+                area_model.total_area_mm2(config),
+            )
+        )
+
+    table = ReportTable(
+        ["Organization", "IPC", "vs. mesh", "NoC latency", "NoC area (mm2)"],
+        title=f"Topology comparison on {workload_name} (64-core CMP)",
+    )
+    for row in rows:
+        table.add_row(*row)
+    print(table.render())
+    print()
+    print(
+        "The paper's claim: NOC-Out matches the flattened butterfly's performance "
+        "at roughly the area cost of the much slower mesh."
+    )
+
+
+if __name__ == "__main__":
+    main()

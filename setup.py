@@ -1,0 +1,5 @@
+"""Setup shim for environments without the ``wheel`` package."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,6 @@
+"""Analysis helpers: performance metrics and plain-text report tables."""
+
+from repro.analysis.metrics import geometric_mean, normalize, speedup
+from repro.analysis.report import ReportTable, format_float
+
+__all__ = ["geometric_mean", "normalize", "speedup", "ReportTable", "format_float"]

@@ -1,0 +1,43 @@
+"""Performance metrics used by the paper's evaluation."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, used for the GMean bars of Figures 7 and 9."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of an empty sequence is undefined")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalize(values: Mapping[str, float], baseline_key: str) -> Dict[str, float]:
+    """Normalise a mapping of measurements to one baseline entry."""
+    if baseline_key not in values:
+        raise KeyError(f"baseline {baseline_key!r} missing from {sorted(values)}")
+    baseline = values[baseline_key]
+    if baseline == 0:
+        raise ValueError("cannot normalise to a zero baseline")
+    return {key: value / baseline for key, value in values.items()}
+
+
+def speedup(new: float, old: float) -> float:
+    """Relative speedup of ``new`` over ``old``."""
+    if old == 0:
+        raise ValueError("cannot compute speedup over zero")
+    return new / old
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean (useful for rate-type metrics)."""
+    values = list(values)
+    if not values:
+        raise ValueError("harmonic mean of an empty sequence is undefined")
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic mean requires strictly positive values")
+    return len(values) / sum(1.0 / v for v in values)

@@ -1,0 +1,116 @@
+"""Coherence protocol message payloads and directory state.
+
+The protocol is a directory-based MESI-style protocol reduced to the three
+stable directory states the paper's traffic analysis needs (I, S, M) and
+the three network message classes it relies on for deadlock freedom:
+
+* **requests** (core -> directory): GetS, GetX, PutM;
+* **snoops** (directory -> core): invalidate, forward, forward-invalidate;
+* **responses** (both directions): data, invalidation acks, forwarded data,
+  and memory fills.
+
+Cache-to-cache transfers are resolved through the directory (3-hop), which
+matches the paper's observation that such transfers are triggered by fewer
+than 2 % of LLC accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Set
+
+
+class CoherenceRequestType(Enum):
+    """Core-originated request types."""
+
+    GETS = "GetS"  # read (instruction fetch or load)
+    GETX = "GetX"  # write / upgrade
+    PUTM = "PutM"  # dirty writeback
+
+
+class SnoopType(Enum):
+    """Directory-originated snoop types."""
+
+    INVALIDATE = "Inv"
+    FORWARD = "Fwd"          # owner supplies data and downgrades to shared
+    FORWARD_INV = "FwdInv"   # owner supplies data and invalidates
+
+
+class ResponseType(Enum):
+    """Response types (shared network class)."""
+
+    DATA = "Data"            # directory -> requesting core (carries a block)
+    INV_ACK = "InvAck"       # core -> directory
+    FWD_DATA = "FwdData"     # owner core -> directory (carries a block)
+    MEM_DATA = "MemData"     # memory controller -> directory (carries a block)
+    WB_ACK = "WbAck"         # directory -> core (writeback acknowledged)
+
+
+@dataclass
+class CacheRequest:
+    """A request from a core's L1 to the home directory."""
+
+    req_type: CoherenceRequestType
+    addr: int
+    requester_node: int
+    requester_core: int
+    is_instruction: bool = False
+
+
+@dataclass
+class SnoopRequest:
+    """A snoop from the home directory to a core's L1."""
+
+    snoop_type: SnoopType
+    addr: int
+    home_node: int
+    target_core: int
+
+
+@dataclass
+class Response:
+    """A response message (data or acknowledgement)."""
+
+    resp_type: ResponseType
+    addr: int
+    target_core: Optional[int] = None
+    is_instruction: bool = False
+    grants_exclusive: bool = False
+
+
+@dataclass
+class MemoryRequest:
+    """A fill request from the home directory to a memory controller."""
+
+    addr: int
+    home_node: int
+
+
+class DirectoryState(Enum):
+    """Stable directory states."""
+
+    INVALID = "I"
+    SHARED = "S"
+    MODIFIED = "M"
+
+
+@dataclass
+class DirectoryEntry:
+    """Directory bookkeeping for one cache block."""
+
+    state: DirectoryState = DirectoryState.INVALID
+    sharers: Set[int] = field(default_factory=set)
+    owner: Optional[int] = None
+
+    def check_invariants(self) -> None:
+        """Raise if the entry violates the protocol invariants."""
+        if self.state == DirectoryState.MODIFIED:
+            if self.owner is None:
+                raise AssertionError("M state requires an owner")
+            if self.sharers - {self.owner}:
+                raise AssertionError("M state cannot have other sharers")
+        if self.state == DirectoryState.INVALID and (self.sharers or self.owner is not None):
+            raise AssertionError("I state cannot have sharers or an owner")
+        if self.state == DirectoryState.SHARED and self.owner is not None:
+            raise AssertionError("S state cannot have an owner")

@@ -1,0 +1,101 @@
+"""Private first-level caches (32 KB L1-I and L1-D, Table 1)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.cache.set_assoc import CacheLineState, SetAssociativeCache
+from repro.config.cache import CacheConfig
+
+
+class L1Cache:
+    """A private L1 cache: a tag/state array plus access statistics.
+
+    The L1 is a purely functional structure; its hit latency is charged by
+    the core timing model and misses are turned into coherence requests by
+    :class:`repro.cpu.core_node.CoreNode`.
+    """
+
+    def __init__(self, config: CacheConfig, name: str, is_instruction: bool = False) -> None:
+        self.config = config
+        self.name = name
+        self.is_instruction = is_instruction
+        self.array = SetAssociativeCache(config, name=name)
+        self.read_hits = 0
+        self.read_misses = 0
+        self.write_hits = 0
+        self.write_misses = 0
+        self.upgrade_misses = 0
+        self.snoop_invalidations = 0
+        self.snoop_downgrades = 0
+
+    # ------------------------------------------------------------------ #
+    # Core-side accesses
+    # ------------------------------------------------------------------ #
+    def read(self, addr: int) -> bool:
+        """Look up ``addr`` for a read; returns ``True`` on a hit."""
+        state = self.array.lookup(addr)
+        if state is not None and state.is_valid:
+            self.read_hits += 1
+            return True
+        self.read_misses += 1
+        return False
+
+    def write(self, addr: int) -> Tuple[bool, bool]:
+        """Look up ``addr`` for a write.
+
+        Returns ``(hit, needs_upgrade)``: a hit requires write permission;
+        a resident-but-shared line is a miss that only needs an upgrade.
+        """
+        if self.is_instruction:
+            raise RuntimeError(f"{self.name}: writes to the instruction cache are not allowed")
+        state = self.array.lookup(addr)
+        if state is None:
+            self.write_misses += 1
+            return False, False
+        if state.is_writable:
+            if state == CacheLineState.EXCLUSIVE:
+                self.array.update_state(addr, CacheLineState.MODIFIED)
+            self.write_hits += 1
+            return True, False
+        self.write_misses += 1
+        self.upgrade_misses += 1
+        return False, True
+
+    def fill(self, addr: int, writable: bool) -> Optional[Tuple[int, CacheLineState]]:
+        """Install a block returned by the directory; returns the victim."""
+        state = CacheLineState.MODIFIED if writable else CacheLineState.SHARED
+        if self.is_instruction:
+            state = CacheLineState.SHARED
+        return self.array.insert(addr, state)
+
+    # ------------------------------------------------------------------ #
+    # Snoop-side accesses
+    # ------------------------------------------------------------------ #
+    def snoop_invalidate(self, addr: int) -> Optional[CacheLineState]:
+        """Invalidate ``addr``; returns the previous state, if resident."""
+        previous = self.array.invalidate(addr)
+        if previous is not None:
+            self.snoop_invalidations += 1
+        return previous
+
+    def snoop_downgrade(self, addr: int) -> Optional[CacheLineState]:
+        """Downgrade ``addr`` to shared; returns the previous state."""
+        previous = self.array.probe(addr)
+        if previous is not None and previous.is_writable:
+            self.array.update_state(addr, CacheLineState.SHARED)
+            self.snoop_downgrades += 1
+        return previous
+
+    # ------------------------------------------------------------------ #
+    @property
+    def accesses(self) -> int:
+        return self.read_hits + self.read_misses + self.write_hits + self.write_misses
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0

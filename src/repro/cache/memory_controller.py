@@ -1,0 +1,51 @@
+"""Memory controller endpoints (one per DDR3 channel)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cache.coherence import MemoryRequest, Response, ResponseType
+from repro.cache.dram import DramChannel
+from repro.config.cache import CacheHierarchyConfig
+from repro.noc.message import MessageClass
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+
+#: send(dst_node, msg_class, payload, carries_data)
+SendFunction = Callable[[int, MessageClass, object, bool], None]
+
+
+class MemoryController(Component):
+    """Services LLC fill requests from one DDR3-1667 channel."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        node_id: int,
+        config: CacheHierarchyConfig,
+        send: SendFunction,
+    ) -> None:
+        super().__init__(sim, name)
+        self.node_id = node_id
+        self._send = send
+        occupancy = config.block_size / config.dram_bandwidth_bytes_per_cycle
+        self.channel = DramChannel(config.dram_latency_cycles, occupancy, name=f"{name}.chan")
+        self.requests_serviced = self.stats.counter("requests_serviced")
+        self.read_latency = self.stats.histogram("read_latency", keep_samples=False)
+
+    # ------------------------------------------------------------------ #
+    def handle_memory_request(self, request: MemoryRequest) -> None:
+        """Admit a fill request and schedule its response."""
+        arrival = self.sim.cycle
+        completion = self.channel.schedule(arrival)
+        self.sim.schedule_at(lambda r=request, a=arrival: self._complete(r, a), completion)
+
+    def _complete(self, request: MemoryRequest, arrival: int) -> None:
+        self.requests_serviced.add()
+        self.read_latency.add(self.sim.cycle - arrival)
+        response = Response(ResponseType.MEM_DATA, request.addr)
+        self._send(request.home_node, MessageClass.RESPONSE, response, True)
+
+    def _tick(self) -> None:  # pragma: no cover - event driven, never ticks
+        pass

@@ -1,0 +1,151 @@
+"""Set-associative cache arrays with true LRU replacement."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.config.cache import CacheConfig
+
+
+class CacheLineState(Enum):
+    """MESI-style stable states tracked in the private caches."""
+
+    INVALID = "I"
+    SHARED = "S"
+    EXCLUSIVE = "E"
+    MODIFIED = "M"
+
+    @property
+    def is_valid(self) -> bool:
+        return self != CacheLineState.INVALID
+
+    @property
+    def is_writable(self) -> bool:
+        return self in (CacheLineState.EXCLUSIVE, CacheLineState.MODIFIED)
+
+
+class SetAssociativeCache:
+    """A tag array with per-line state and true-LRU replacement.
+
+    Only tags and states are modelled (no data values); the simulator tracks
+    timing and protocol behaviour, not program semantics.
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache", index_divisor: int = 1) -> None:
+        if index_divisor < 1:
+            raise ValueError("index_divisor must be >= 1")
+        self.config = config
+        self.name = name
+        self.num_sets = config.num_sets
+        self.associativity = config.associativity
+        self._block_shift = config.block_size.bit_length() - 1
+        # Banked caches (the NUCA LLC) interleave consecutive blocks across
+        # banks; dividing the block number by the bank count before indexing
+        # keeps all sets of each bank usable.
+        self._index_divisor = index_divisor
+        # One ordered dict per set: tag -> state, ordered from LRU to MRU.
+        self._sets: List["OrderedDict[int, CacheLineState]"] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        # Statistics
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+    def _index_and_tag(self, addr: int) -> Tuple[int, int]:
+        """Set index and line key for ``addr``.
+
+        The "tag" returned here is the full block number, which keeps victim
+        address reconstruction exact even for banked (interleaved) caches.
+        """
+        block = addr >> self._block_shift
+        local = block // self._index_divisor
+        return local % self.num_sets, block
+
+    def block_address(self, addr: int) -> int:
+        return (addr >> self._block_shift) << self._block_shift
+
+    # ------------------------------------------------------------------ #
+    def lookup(self, addr: int, update_lru: bool = True) -> Optional[CacheLineState]:
+        """Return the line state if ``addr`` is present, else ``None``."""
+        index, tag = self._index_and_tag(addr)
+        cache_set = self._sets[index]
+        if tag not in cache_set:
+            self.misses += 1
+            return None
+        if update_lru:
+            cache_set.move_to_end(tag)
+        self.hits += 1
+        return cache_set[tag]
+
+    def probe(self, addr: int) -> Optional[CacheLineState]:
+        """Like :meth:`lookup` but without touching LRU or statistics."""
+        index, tag = self._index_and_tag(addr)
+        return self._sets[index].get(tag)
+
+    def insert(
+        self, addr: int, state: CacheLineState = CacheLineState.SHARED
+    ) -> Optional[Tuple[int, CacheLineState]]:
+        """Install ``addr`` with ``state``; returns the victim, if any.
+
+        The victim is reported as ``(block_address, state)`` so the caller
+        can issue a writeback for modified lines.
+        """
+        if state == CacheLineState.INVALID:
+            raise ValueError("cannot insert a line in the INVALID state")
+        index, tag = self._index_and_tag(addr)
+        cache_set = self._sets[index]
+        victim = None
+        if tag in cache_set:
+            cache_set[tag] = state
+            cache_set.move_to_end(tag)
+            return None
+        if len(cache_set) >= self.associativity:
+            victim_tag, victim_state = cache_set.popitem(last=False)
+            victim = (victim_tag << self._block_shift, victim_state)
+            self.evictions += 1
+        cache_set[tag] = state
+        return victim
+
+    def update_state(self, addr: int, state: CacheLineState) -> None:
+        """Change the state of a resident line (or invalidate it)."""
+        index, tag = self._index_and_tag(addr)
+        cache_set = self._sets[index]
+        if tag not in cache_set:
+            return
+        if state == CacheLineState.INVALID:
+            del cache_set[tag]
+        else:
+            cache_set[tag] = state
+
+    def invalidate(self, addr: int) -> Optional[CacheLineState]:
+        """Remove ``addr`` if present; returns its previous state."""
+        index, tag = self._index_and_tag(addr)
+        cache_set = self._sets[index]
+        return cache_set.pop(tag, None)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def capacity_blocks(self) -> int:
+        return self.num_sets * self.associativity
+
+    def resident_blocks(self) -> Dict[int, CacheLineState]:
+        """All resident blocks and their states (for invariant checking)."""
+        result: Dict[int, CacheLineState] = {}
+        for cache_set in self._sets:
+            for tag, state in cache_set.items():
+                result[tag << self._block_shift] = state
+        return result
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

@@ -1,0 +1,17 @@
+"""Chip assembly: wiring cores, caches, directories, MCs and the NoC."""
+
+from repro.chip.system_map import SystemMap, TiledSystemMap, NocOutSystemMap, build_system_map
+from repro.chip.tile import Tile
+from repro.chip.chip import Chip, SimulationResults
+from repro.chip.builder import build_chip
+
+__all__ = [
+    "SystemMap",
+    "TiledSystemMap",
+    "NocOutSystemMap",
+    "build_system_map",
+    "Tile",
+    "Chip",
+    "SimulationResults",
+    "build_chip",
+]

@@ -1,0 +1,323 @@
+"""The full chip: cores, private caches, NUCA LLC, directory, NoC and DRAM.
+
+:class:`Chip` is the main entry point of the library: build it from a
+:class:`~repro.config.system.SystemConfig` (with a workload attached), call
+:meth:`Chip.run_experiment`, and read the returned
+:class:`SimulationResults`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cache.directory import DirectoryController
+from repro.cache.memory_controller import MemoryController
+from repro.config.system import SystemConfig
+from repro.cpu.core_node import CoreNode
+from repro.noc.message import (
+    Message,
+    MessageClass,
+    control_message_bits,
+    data_message_bits,
+)
+from repro.sim.kernel import Simulator
+from repro.workloads.cloudsuite import make_stream
+from repro.chip.builder import build_network
+from repro.chip.system_map import build_system_map
+from repro.chip.tile import Tile
+
+
+@dataclass
+class SimulationResults:
+    """Measurements collected over one timed simulation window."""
+
+    workload: str
+    topology: str
+    num_cores: int
+    active_cores: int
+    cycles: int
+    total_instructions: int
+    per_core_instructions: Dict[int, int] = field(default_factory=dict)
+    network_mean_latency: float = 0.0
+    network_request_latency: float = 0.0
+    network_response_latency: float = 0.0
+    network_mean_hops: float = 0.0
+    messages_delivered: int = 0
+    llc_accesses: int = 0
+    llc_hit_rate: float = 0.0
+    snoop_rate: float = 0.0
+    snoops_sent: int = 0
+    memory_reads: int = 0
+    l1i_miss_rate: float = 0.0
+    l1d_miss_rate: float = 0.0
+    l1i_mpki: float = 0.0
+    bank_conflicts: int = 0
+    network_activity: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput_ipc(self) -> float:
+        """System throughput: committed instructions per cycle (paper's metric)."""
+        return self.total_instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def per_core_ipc(self) -> float:
+        """Average per-core IPC over the active cores (Figure 1's metric)."""
+        if not self.active_cores:
+            return 0.0
+        return self.throughput_ipc / self.active_cores
+
+
+class Chip:
+    """A complete simulated chip for one (configuration, workload) pair."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        if config.workload is None:
+            raise ValueError("SystemConfig.workload must be set to build a chip")
+        self.config = config
+        self.workload = config.workload
+        self.sim = Simulator(config.seed)
+        self.system_map = build_system_map(config)
+        self.network = build_network(self.sim, config, self.system_map)
+
+        self.active_core_ids: List[int] = self.system_map.active_core_ids(
+            self.workload.scaled_cores(config.num_cores)
+        )
+        self.core_nodes: Dict[int, CoreNode] = {}
+        self.directories: Dict[int, DirectoryController] = {}
+        self.memory_controllers: Dict[int, MemoryController] = {}
+        self.tiles: Dict[int, Tile] = {}
+
+        self._build_components()
+        self._register_endpoints()
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _make_sender(self, src_node: int):
+        network = self.network
+        data_bits = data_message_bits(self.config.caches.block_size)
+        ctrl_bits = control_message_bits()
+
+        def send(dst_node: int, msg_class: MessageClass, payload, carries_data: bool) -> None:
+            size = data_bits if carries_data else ctrl_bits
+            network.send(
+                Message(src=src_node, dst=dst_node, msg_class=msg_class, size_bits=size, payload=payload)
+            )
+
+        return send
+
+    def _build_components(self) -> None:
+        config = self.config
+        system_map = self.system_map
+
+        # Cores (only the active ones execute a stream).
+        active = self.active_core_ids
+        for rank, core_id in enumerate(active):
+            node_id = system_map.core_node(core_id)
+            stream = make_stream(self.workload, rank, len(active), seed=config.seed)
+            core_node = CoreNode(
+                self.sim,
+                f"core{core_id}",
+                core_id=core_id,
+                node_id=node_id,
+                config=config,
+                workload=self.workload,
+                stream=stream,
+                send=self._make_sender(node_id),
+                home_node_for=system_map.home_node,
+            )
+            self.core_nodes[core_id] = core_node
+
+        # LLC slices / tiles with their directories.
+        for node_id in system_map.llc_node_ids:
+            directory = DirectoryController(
+                self.sim,
+                f"dir{node_id}",
+                node_id=node_id,
+                bank_configs=system_map.llc_bank_configs(),
+                mapper=system_map.mapper,
+                send=self._make_sender(node_id),
+                core_node_for=system_map.core_node,
+                mc_node_for=system_map.mc_node_for,
+            )
+            self.directories[node_id] = directory
+
+        # Memory controllers.
+        for index in range(config.num_memory_controllers):
+            node_id = system_map.mc_node(index)
+            controller = MemoryController(
+                self.sim,
+                f"mc{index}",
+                node_id=node_id,
+                config=config.caches,
+                send=self._make_sender(node_id),
+            )
+            self.memory_controllers[node_id] = controller
+
+    def _register_endpoints(self) -> None:
+        system_map = self.system_map
+        core_by_node = {node.node_id: node for node in self.core_nodes.values()}
+
+        for node_id in set(system_map.core_node_ids) | set(system_map.llc_node_ids):
+            core_node = core_by_node.get(node_id)
+            directory = self.directories.get(node_id)
+            if core_node is None and directory is None:
+                continue  # inactive core tile in the NOC-Out layout
+            tile = Tile(node_id, core_node=core_node, directory=directory)
+            self.tiles[node_id] = tile
+            self.network.register_endpoint(node_id, tile.receive_message)
+
+        for node_id, controller in self.memory_controllers.items():
+            tile = Tile(node_id, memory_controller=controller)
+            self.tiles[node_id] = tile
+            self.network.register_endpoint(node_id, tile.receive_message)
+
+    # ------------------------------------------------------------------ #
+    # Warm-up
+    # ------------------------------------------------------------------ #
+    def warmup(self, references_per_core: int = 3000) -> None:
+        """Functionally warm the caches and directory before timed simulation.
+
+        The full instruction footprint is installed in the LLC (it fits in
+        the 8 MB cache, mirroring the paper's warmed checkpoints), and each
+        core replays a short reference stream to warm its private L1s and
+        the shared-region directory state.
+        """
+        if not self.core_nodes:
+            return
+        sample_node = next(iter(self.core_nodes.values()))
+        block = self.config.caches.block_size
+
+        instr_base, instr_size = sample_node.core.stream.instruction_region
+        for addr in range(instr_base, instr_base + instr_size, block):
+            home = self.system_map.home_node(addr)
+            self.directories[home].warm_fill(addr)
+
+        for core_id, node in self.core_nodes.items():
+            stream = node.core.stream
+            shared_base, shared_size = stream.shared_region
+            for addr, is_instruction, is_write in stream.functional_references(references_per_core):
+                if is_instruction:
+                    node.warm_instruction(addr)
+                    continue
+                shared = shared_base <= addr < shared_base + shared_size
+                # Private lines that are ever written end up modified in steady
+                # state; warming them writable avoids a long upgrade transient.
+                node.warm_data(addr, writable=is_write or not shared)
+                if shared:
+                    home = self.system_map.home_node(addr)
+                    self.directories[home].warm_fill(addr, sharer=core_id, writable=is_write)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def start_cores(self) -> None:
+        """Begin executing the workload on every active core."""
+        if self._started:
+            return
+        self._started = True
+        for offset, node in enumerate(self.core_nodes.values()):
+            node.core.start(delay=offset % 4)
+
+    def run(self, cycles: int) -> None:
+        """Advance the simulation by ``cycles`` cycles."""
+        self.sim.run(cycles)
+
+    def reset_statistics(self) -> None:
+        """Zero all measurement state (called between warm-up and measurement)."""
+        for node in self.core_nodes.values():
+            node.reset_statistics()
+        for directory in self.directories.values():
+            directory.reset_statistics()
+        for controller in self.memory_controllers.values():
+            controller.stats.reset()
+            controller.channel.requests = 0
+            controller.channel.total_queue_cycles = 0.0
+        self.network.stats.reset()
+        self.reset_network_activity()
+
+    def reset_network_activity(self) -> None:
+        """Zero the switching-activity counters used by the energy model."""
+        for router in self.network.routers:
+            router.flits_switched = 0
+            router.packets_switched = 0
+            router.buffer_flit_writes = 0
+            for port in router.output_ports:
+                port.flits_sent = 0
+                port.packets_sent = 0
+        for interface in self.network.interfaces.values():
+            interface.flits_injected = 0
+            interface.messages_injected = 0
+            interface.messages_delivered = 0
+
+    def run_experiment(
+        self,
+        warmup_references: int = 3000,
+        detailed_warmup_cycles: int = 2000,
+        measure_cycles: int = 8000,
+    ) -> SimulationResults:
+        """Warm up, run a timed warm window, then measure and return results."""
+        self.warmup(warmup_references)
+        self.start_cores()
+        if detailed_warmup_cycles:
+            self.sim.run(detailed_warmup_cycles)
+        self.reset_statistics()
+        self.sim.run(measure_cycles)
+        return self.collect_results(measure_cycles)
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+    def collect_results(self, cycles: int) -> SimulationResults:
+        per_core_instructions = {
+            core_id: int(node.core.instructions_committed.value)
+            for core_id, node in self.core_nodes.items()
+        }
+        total_instructions = sum(per_core_instructions.values())
+
+        llc_accesses = sum(d.llc_accesses.value for d in self.directories.values())
+        llc_hits = sum(d.llc_hits.value for d in self.directories.values())
+        snoop_triggers = sum(d.snoop_triggering_accesses.value for d in self.directories.values())
+        snoops_sent = sum(d.snoops_sent.value for d in self.directories.values())
+        bank_conflicts = sum(
+            bank.busy_conflicts for d in self.directories.values() for bank in d.banks
+        )
+        memory_reads = sum(
+            int(mc.requests_serviced.value) for mc in self.memory_controllers.values()
+        )
+
+        l1i_accesses = sum(n.l1i.accesses for n in self.core_nodes.values())
+        l1i_misses = sum(n.l1i.misses for n in self.core_nodes.values())
+        l1d_accesses = sum(n.l1d.accesses for n in self.core_nodes.values())
+        l1d_misses = sum(n.l1d.misses for n in self.core_nodes.values())
+
+        from repro.noc.message import MessageClass as MC
+
+        return SimulationResults(
+            workload=self.workload.name,
+            topology=self.config.noc.topology.value,
+            num_cores=self.config.num_cores,
+            active_cores=len(self.active_core_ids),
+            cycles=cycles,
+            total_instructions=total_instructions,
+            per_core_instructions=per_core_instructions,
+            network_mean_latency=self.network.mean_latency(),
+            network_request_latency=self.network.mean_latency(MC.REQUEST),
+            network_response_latency=self.network.mean_latency(MC.RESPONSE),
+            network_mean_hops=self.network.mean_hops(),
+            messages_delivered=int(self.network.messages_delivered.value),
+            llc_accesses=int(llc_accesses),
+            llc_hit_rate=llc_hits / llc_accesses if llc_accesses else 0.0,
+            snoop_rate=snoop_triggers / llc_accesses if llc_accesses else 0.0,
+            snoops_sent=int(snoops_sent),
+            memory_reads=memory_reads,
+            l1i_miss_rate=l1i_misses / l1i_accesses if l1i_accesses else 0.0,
+            l1d_miss_rate=l1d_misses / l1d_accesses if l1d_accesses else 0.0,
+            l1i_mpki=(
+                1000.0 * l1i_misses / total_instructions if total_instructions else 0.0
+            ),
+            bank_conflicts=int(bank_conflicts),
+            network_activity=self.network.activity(),
+        )

@@ -1,0 +1,36 @@
+"""Configuration objects for the NOC-Out reproduction.
+
+Everything the simulator, area model and energy model need to know about
+the chip is described declaratively here, mirroring Table 1 of the paper.
+"""
+
+from repro.config.technology import TechnologyConfig
+from repro.config.core import CoreConfig
+from repro.config.cache import CacheConfig, CacheHierarchyConfig
+from repro.config.noc import (
+    NocConfig,
+    Topology,
+    MESH,
+    FLATTENED_BUTTERFLY,
+    NOC_OUT,
+    IDEAL,
+)
+from repro.config.workload import WorkloadConfig
+from repro.config.system import SystemConfig
+from repro.config import presets
+
+__all__ = [
+    "TechnologyConfig",
+    "CoreConfig",
+    "CacheConfig",
+    "CacheHierarchyConfig",
+    "NocConfig",
+    "Topology",
+    "MESH",
+    "FLATTENED_BUTTERFLY",
+    "NOC_OUT",
+    "IDEAL",
+    "WorkloadConfig",
+    "SystemConfig",
+    "presets",
+]

@@ -1,0 +1,67 @@
+"""Cache hierarchy configuration (L1s, NUCA LLC, DRAM)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of a single cache array."""
+
+    size_bytes: int
+    associativity: int
+    block_size: int = 64
+    hit_latency: int = 2
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if self.block_size <= 0 or self.block_size & (self.block_size - 1):
+            raise ValueError("block_size must be a positive power of two")
+        if self.size_bytes % (self.block_size * self.associativity):
+            raise ValueError(
+                "size_bytes must be a multiple of block_size * associativity"
+            )
+
+    @property
+    def num_blocks(self) -> int:
+        return self.size_bytes // self.block_size
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_blocks // self.associativity
+
+
+@dataclass(frozen=True)
+class CacheHierarchyConfig:
+    """Full on-chip cache hierarchy: private L1s plus a shared NUCA LLC.
+
+    Table 1: 32 KB L1-I and L1-D per core, 8 MB NUCA LLC (1 MB per LLC tile
+    in NOC-Out, 128 KB slice per tile in the tiled designs), 64 B lines and
+    four DDR3-1667 memory channels.
+    """
+
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(32 * 1024, 4, 64, 2))
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(32 * 1024, 4, 64, 2))
+    llc_total_bytes: int = 8 * 1024 * 1024
+    llc_associativity: int = 16
+    llc_bank_latency: int = 8
+    block_size: int = 64
+    mshr_entries: int = 16
+    dram_latency_cycles: int = 120
+    dram_channels: int = 4
+    dram_bandwidth_bytes_per_cycle: float = 8.0
+
+    def llc_bank_config(self, num_banks: int) -> CacheConfig:
+        """Geometry of one LLC bank when the LLC is split ``num_banks`` ways."""
+        if num_banks <= 0:
+            raise ValueError("num_banks must be positive")
+        if self.llc_total_bytes % num_banks:
+            raise ValueError("LLC capacity must divide evenly across banks")
+        return CacheConfig(
+            size_bytes=self.llc_total_bytes // num_banks,
+            associativity=self.llc_associativity,
+            block_size=self.block_size,
+            hit_latency=self.llc_bank_latency,
+        )

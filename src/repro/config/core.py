@@ -1,0 +1,31 @@
+"""Core microarchitecture configuration (ARM Cortex-A15-like, Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Timing-model parameters for one core.
+
+    The paper models a three-way out-of-order core with a 64-entry ROB and a
+    16-entry LSQ.  Our trace-driven timing model consumes these as an issue
+    width (peak IPC) and a bound on overlapped memory-level parallelism.
+    """
+
+    issue_width: int = 3
+    rob_entries: int = 64
+    lsq_entries: int = 16
+    max_outstanding_data_misses: int = 2
+    l1_hit_latency: int = 2
+    area_mm2: float = 2.9
+    power_w: float = 1.05
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1:
+            raise ValueError("issue_width must be >= 1")
+        if self.rob_entries < 1 or self.lsq_entries < 1:
+            raise ValueError("ROB/LSQ sizes must be >= 1")
+        if self.max_outstanding_data_misses < 1:
+            raise ValueError("max_outstanding_data_misses must be >= 1")

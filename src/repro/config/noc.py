@@ -1,0 +1,87 @@
+"""Network-on-chip configuration for the three evaluated organizations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+
+class Topology(str, Enum):
+    """Interconnect organizations evaluated in the paper."""
+
+    MESH = "mesh"
+    FLATTENED_BUTTERFLY = "flattened_butterfly"
+    NOC_OUT = "noc_out"
+    IDEAL = "ideal"
+
+
+MESH = Topology.MESH
+FLATTENED_BUTTERFLY = Topology.FLATTENED_BUTTERFLY
+NOC_OUT = Topology.NOC_OUT
+IDEAL = Topology.IDEAL
+
+
+@dataclass(frozen=True)
+class NocConfig:
+    """Parameters of the on-chip network (Table 1, "NOC Organizations").
+
+    ``link_width_bits`` is the flit width; the area-normalised study
+    (Figure 9) shrinks it for the mesh and flattened butterfly until their
+    NoC area matches NOC-Out's 2.5 mm2 budget.
+    """
+
+    topology: Topology = Topology.MESH
+    link_width_bits: int = 128
+
+    # Mesh parameters
+    mesh_router_pipeline: int = 2
+    mesh_link_latency: int = 1
+    mesh_vcs_per_port: int = 3
+    mesh_vc_depth_flits: int = 5
+
+    # Flattened butterfly parameters
+    fbfly_router_pipeline: int = 3
+    fbfly_vcs_per_port: int = 3
+    fbfly_vc_depth_flits: int = 8
+    fbfly_tiles_per_cycle: float = 2.0
+
+    # NOC-Out tree networks
+    tree_hop_latency: int = 1
+    tree_vcs_per_port: int = 2
+    tree_vc_depth_flits: int = 3
+    tree_concentration: int = 1
+    tree_express_links: bool = False
+    tree_arbitration: str = "static_priority"
+
+    # NOC-Out LLC network (1-D flattened butterfly across LLC tiles)
+    llc_router_pipeline: int = 3
+    llc_vcs_per_port: int = 3
+    llc_vc_depth_flits: int = 5
+    llc_tiles: int = 8
+    llc_banks_per_tile: int = 2
+
+    def __post_init__(self) -> None:
+        if self.link_width_bits < 8:
+            raise ValueError("link_width_bits must be at least 8")
+        if self.llc_tiles < 1 or self.llc_banks_per_tile < 1:
+            raise ValueError("LLC tiling parameters must be positive")
+        if self.tree_concentration < 1:
+            raise ValueError("tree_concentration must be >= 1")
+        if self.tree_arbitration not in ("static_priority", "round_robin"):
+            raise ValueError(
+                "tree_arbitration must be 'static_priority' or 'round_robin', "
+                f"got {self.tree_arbitration!r}"
+            )
+
+    @property
+    def llc_banks(self) -> int:
+        """Total number of LLC banks in the NOC-Out organization."""
+        return self.llc_tiles * self.llc_banks_per_tile
+
+    def with_link_width(self, link_width_bits: int) -> "NocConfig":
+        """Return a copy with a different flit/link width (Figure 9 study)."""
+        return replace(self, link_width_bits=link_width_bits)
+
+    def with_topology(self, topology: Topology) -> "NocConfig":
+        """Return a copy targeting a different topology."""
+        return replace(self, topology=topology)

@@ -1,0 +1,89 @@
+"""Top-level system configuration tying cores, caches, NoC and workload."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.config.cache import CacheHierarchyConfig
+from repro.config.core import CoreConfig
+from repro.config.noc import NocConfig, Topology
+from repro.config.technology import TechnologyConfig
+from repro.config.workload import WorkloadConfig
+
+
+def default_mesh_dimensions(num_cores: int) -> Tuple[int, int]:
+    """Grid dimensions used for tiled (mesh / flattened butterfly) chips."""
+    known = {
+        1: (1, 1),
+        2: (2, 1),
+        4: (2, 2),
+        8: (4, 2),
+        16: (4, 4),
+        32: (8, 4),
+        64: (8, 8),
+        128: (16, 8),
+    }
+    if num_cores in known:
+        return known[num_cores]
+    raise ValueError(f"no default grid for {num_cores} cores")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete description of one evaluated chip configuration."""
+
+    num_cores: int = 64
+    technology: TechnologyConfig = field(default_factory=TechnologyConfig)
+    core: CoreConfig = field(default_factory=CoreConfig)
+    caches: CacheHierarchyConfig = field(default_factory=CacheHierarchyConfig)
+    noc: NocConfig = field(default_factory=NocConfig)
+    workload: Optional[WorkloadConfig] = None
+    num_memory_controllers: int = 4
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ValueError("num_cores must be >= 1")
+        if self.num_memory_controllers < 1:
+            raise ValueError("num_memory_controllers must be >= 1")
+        if self.noc.topology in (Topology.MESH, Topology.FLATTENED_BUTTERFLY, Topology.IDEAL):
+            default_mesh_dimensions(self.num_cores)  # validates the grid exists
+
+    # ------------------------------------------------------------------ #
+    @property
+    def mesh_dimensions(self) -> Tuple[int, int]:
+        """(columns, rows) of the tiled grid for mesh/FBfly/ideal chips."""
+        return default_mesh_dimensions(self.num_cores)
+
+    @property
+    def active_cores(self) -> int:
+        """Cores actually running the workload (scalability limited)."""
+        if self.workload is None:
+            return self.num_cores
+        return self.workload.scaled_cores(self.num_cores)
+
+    @property
+    def tile_width_mm(self) -> float:
+        """Approximate width of one core tile, derived from area estimates."""
+        llc_slice_mb = self.caches.llc_total_bytes / (1024 * 1024) / self.num_cores
+        tile_area = (
+            self.core.area_mm2
+            + llc_slice_mb * self.technology.cache_area_mm2_per_mb
+        )
+        return tile_area ** 0.5
+
+    def with_workload(self, workload: WorkloadConfig) -> "SystemConfig":
+        return replace(self, workload=workload)
+
+    def with_noc(self, noc: NocConfig) -> "SystemConfig":
+        return replace(self, noc=noc)
+
+    def with_topology(self, topology: Topology) -> "SystemConfig":
+        return replace(self, noc=self.noc.with_topology(topology))
+
+    def with_cores(self, num_cores: int) -> "SystemConfig":
+        return replace(self, num_cores=num_cores)
+
+    def with_seed(self, seed: int) -> "SystemConfig":
+        return replace(self, seed=seed)

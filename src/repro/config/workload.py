@@ -1,0 +1,97 @@
+"""Synthetic scale-out workload parameters.
+
+The paper evaluates six CloudSuite-style workloads.  We cannot ship
+CloudSuite binaries or Flexus checkpoints, so each workload is replaced by a
+parameterised synthetic generator whose parameters capture the traits the
+paper identifies as performance-relevant: multi-megabyte instruction
+footprints, vast datasets with negligible reuse, rare read-write sharing,
+and low ILP/MLP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs of one synthetic scale-out workload.
+
+    Attributes
+    ----------
+    name:
+        Workload name as it appears in the paper's figures.
+    instruction_footprint_bytes:
+        Size of the active instruction working set.  Multi-MB footprints do
+        not fit in the 32 KB L1-I but do fit in the 8 MB LLC, producing the
+        frequent core-to-LLC instruction fetches the paper highlights.
+    hot_instruction_fraction:
+        Fraction of fetch targets that hit a small, L1-resident hot region
+        (tight loops); controls the L1-I miss rate.
+    dataset_bytes:
+        Size of the data working set ("vast dataset"); accesses to it have
+        essentially no reuse and mostly miss in the LLC.
+    data_reuse_fraction:
+        Fraction of data accesses that go to a small per-core hot region
+        (stack, metadata) and therefore hit in the L1-D.
+    shared_fraction:
+        Fraction of data accesses that target a chip-wide shared region;
+        together with ``write_fraction`` this sets the snoop rate (Figure 4).
+    shared_region_bytes:
+        Size of the shared region.
+    write_fraction:
+        Fraction of data accesses that are stores.
+    loads_per_instruction:
+        Data accesses per committed instruction.
+    mean_block_instructions:
+        Average number of instructions per fetch block (between taken
+        branches); controls fetch granularity.
+    jump_probability:
+        Probability that a fetch block ends in a jump to a random location
+        in the instruction footprint (vs. sequential fall-through).
+    issue_width / mlp:
+        Effective ILP and memory-level parallelism of the workload on the
+        modelled core (scale-out workloads have low values for both).
+    max_cores:
+        Scalability limit (Web Frontend and Web Search only scale to 16
+        cores in the paper).
+    """
+
+    name: str
+    instruction_footprint_bytes: int = 4 * 1024 * 1024
+    hot_instruction_fraction: float = 0.35
+    dataset_bytes: int = 512 * 1024 * 1024
+    data_reuse_fraction: float = 0.6
+    shared_fraction: float = 0.02
+    shared_region_bytes: int = 256 * 1024
+    write_fraction: float = 0.25
+    loads_per_instruction: float = 0.3
+    mean_block_instructions: float = 14.0
+    jump_probability: float = 0.25
+    issue_width: int = 3
+    mlp: int = 2
+    max_cores: int = 64
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "hot_instruction_fraction",
+            "data_reuse_fraction",
+            "shared_fraction",
+            "write_fraction",
+            "jump_probability",
+        ):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field_name} must be within [0, 1], got {value}")
+        if self.instruction_footprint_bytes <= 0 or self.dataset_bytes <= 0:
+            raise ValueError("footprint/dataset sizes must be positive")
+        if self.loads_per_instruction < 0:
+            raise ValueError("loads_per_instruction must be non-negative")
+        if self.mean_block_instructions <= 0:
+            raise ValueError("mean_block_instructions must be positive")
+        if self.mlp < 1 or self.issue_width < 1 or self.max_cores < 1:
+            raise ValueError("issue_width, mlp and max_cores must be >= 1")
+
+    def scaled_cores(self, requested_cores: int) -> int:
+        """Number of active cores for a chip with ``requested_cores`` cores."""
+        return min(requested_cores, self.max_cores)

@@ -1,0 +1,28 @@
+"""NOC-Out: the paper's proposed organization.
+
+The package contains the pieces that are specific to the NOC-Out design:
+
+* :mod:`repro.core.floorplan` — the segregated die layout with the LLC row
+  in the centre of the die and core columns above and below it;
+* :mod:`repro.core.reduction_tree` — the routing-free many-to-one trees that
+  carry requests from cores to the centrally located LLC;
+* :mod:`repro.core.dispersion_tree` — the one-to-many trees that carry
+  responses and snoops back out to the cores;
+* :mod:`repro.core.llc_network` — the one-dimensional flattened butterfly
+  interconnecting the LLC tiles (and the memory controllers at its edges);
+* :mod:`repro.core.nocout` — the composition of the above into a single
+  :class:`~repro.noc.network.Network` implementation.
+"""
+
+from repro.core.floorplan import NocOutFloorplan, describe_nocout
+from repro.core.reduction_tree import build_reduction_tree
+from repro.core.dispersion_tree import build_dispersion_tree
+from repro.core.nocout import NocOutNetwork
+
+__all__ = [
+    "NocOutFloorplan",
+    "describe_nocout",
+    "build_reduction_tree",
+    "build_dispersion_tree",
+    "NocOutNetwork",
+]

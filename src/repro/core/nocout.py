@@ -1,0 +1,176 @@
+"""The composed NOC-Out interconnect (Figure 5).
+
+Cores inject into per-half-column reduction trees that terminate at the
+centrally located LLC tiles; the LLC tiles are interconnected with a
+one-dimensional flattened butterfly; responses and snoops leave the LLC
+region through dispersion trees.  There is no direct core-to-core
+connectivity — all traffic flows through the LLC region.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.config.system import SystemConfig
+from repro.sim.kernel import Simulator
+from repro.noc.network import Network
+from repro.noc.router import Router
+from repro.core.dispersion_tree import build_dispersion_tree
+from repro.core.floorplan import CorePosition, NocOutFloorplan
+from repro.core.llc_network import build_llc_network, llc_input_port
+from repro.core.reduction_tree import build_reduction_tree
+
+
+class NocOutNetwork(Network):
+    """Reduction trees + dispersion trees + LLC flattened butterfly."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SystemConfig,
+        core_nodes: Dict[int, CorePosition],
+        llc_nodes: Dict[int, int],
+        mc_nodes: Dict[int, int],
+        name: str = "nocout",
+    ) -> None:
+        all_nodes = list(core_nodes) + list(llc_nodes) + list(mc_nodes)
+        super().__init__(sim, config, name, all_nodes)
+        self.core_nodes = dict(core_nodes)
+        self.llc_nodes = dict(llc_nodes)
+        self.mc_nodes = dict(mc_nodes)
+        self.floorplan = NocOutFloorplan(config)
+
+        self.llc_routers: List[Router] = []
+        self.reduction_nodes: List[Router] = []
+        self.dispersion_nodes: List[Router] = []
+        self._inter_tile_port: Dict[Tuple[int, int], int] = {}
+        self._llc_eject_port: Dict[int, int] = {}
+        self._mc_eject_port: Dict[int, int] = {}
+        self._dispersion_head_port: Dict[Tuple[int, str], int] = {}
+
+        self._build_llc_region()
+        self._attach_llc_and_mc_interfaces()
+        self._build_trees()
+        self._build_llc_routing_tables()
+
+        self.routers.extend(self.llc_routers)
+        self.routers.extend(self.reduction_nodes)
+        self.routers.extend(self.dispersion_nodes)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _build_llc_region(self) -> None:
+        self.llc_routers, self._inter_tile_port = build_llc_network(
+            self.sim, self.system, self.floorplan, name=f"{self.name}.llcnet"
+        )
+
+    def _attach_llc_and_mc_interfaces(self) -> None:
+        for node_id, column in self.llc_nodes.items():
+            router = self.llc_routers[column]
+            interface = self.interfaces[node_id]
+            in_port = router.add_input_port(
+                llc_input_port(self.system, f"{router.name}.in_llc{node_id}"), is_local=True
+            )
+            interface.attach_router(router, in_port)
+            self._llc_eject_port[node_id] = router.add_output_port(
+                f"eject_llc{node_id}", interface, 0, link_latency=0, link_length_mm=0.0
+            )
+        for node_id, column in self.mc_nodes.items():
+            router = self.llc_routers[column]
+            interface = self.interfaces[node_id]
+            in_port = router.add_input_port(
+                llc_input_port(self.system, f"{router.name}.in_mc{node_id}"), is_local=True
+            )
+            interface.attach_router(router, in_port)
+            self._mc_eject_port[node_id] = router.add_output_port(
+                f"eject_mc{node_id}", interface, 0, link_latency=0, link_length_mm=0.0
+            )
+
+    def _cores_in_group(self, column: int, rows: Tuple[int, ...]) -> List[int]:
+        """Core node ids at (column, row) for each row, in the given order."""
+        by_position = {pos: node for node, pos in self.core_nodes.items()}
+        cores = []
+        for row in rows:
+            position = (column, row)
+            if position in by_position:
+                cores.append(by_position[position])
+        return cores
+
+    def _build_trees(self) -> None:
+        concentration = self.noc.tree_concentration
+        hop_mm = self.floorplan.tree_hop_length_mm()
+        all_destinations = list(self.llc_nodes) + list(self.mc_nodes) + list(self.core_nodes)
+
+        for group in self.floorplan.tree_groups():
+            cores = self._cores_in_group(group.column, group.core_rows)
+            if not cores:
+                continue
+            llc_router = self.llc_routers[group.column]
+            label = f"{self.name}.{group.side}{group.column}"
+
+            # Reduction tree: cores -> LLC router of this column.
+            core_groups = [
+                [self.interfaces[node_id] for node_id in cores[i : i + concentration]]
+                for i in range(0, len(cores), concentration)
+            ]
+            terminal_port = llc_router.add_input_port(
+                llc_input_port(self.system, f"{llc_router.name}.from_{group.side}_tree")
+            )
+            reduction = build_reduction_tree(
+                self.sim,
+                self.system,
+                f"{label}.red",
+                core_groups,
+                llc_router,
+                terminal_port,
+                all_destinations,
+                hop_mm,
+            )
+            self.reduction_nodes.extend(reduction)
+
+            # Dispersion tree: LLC router of this column -> cores.
+            bindings = [
+                [
+                    (node_id, self.interfaces[node_id])
+                    for node_id in cores[i : i + concentration]
+                ]
+                for i in range(0, len(cores), concentration)
+            ]
+            head, head_port, dispersion = build_dispersion_tree(
+                self.sim, self.system, f"{label}.disp", bindings, hop_mm
+            )
+            self.dispersion_nodes.extend(dispersion)
+            out_port = llc_router.add_output_port(
+                f"to_{group.side}_tree", head, head_port, link_latency=0, link_length_mm=hop_mm
+            )
+            self._dispersion_head_port[(group.column, group.side)] = out_port
+
+    def _build_llc_routing_tables(self) -> None:
+        for column, router in enumerate(self.llc_routers):
+            for node_id, llc_column in self.llc_nodes.items():
+                if llc_column == column:
+                    router.set_route(node_id, self._llc_eject_port[node_id])
+                else:
+                    router.set_route(node_id, self._inter_tile_port[(column, llc_column)])
+            for node_id, mc_column in self.mc_nodes.items():
+                if mc_column == column:
+                    router.set_route(node_id, self._mc_eject_port[node_id])
+                else:
+                    router.set_route(node_id, self._inter_tile_port[(column, mc_column)])
+            for node_id, (core_column, core_row) in self.core_nodes.items():
+                side = self.floorplan.side_of_row(core_row)
+                if core_column == column:
+                    router.set_route(node_id, self._dispersion_head_port[(core_column, side)])
+                else:
+                    router.set_route(node_id, self._inter_tile_port[(column, core_column)])
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers (used by tests and the ablation studies)
+    # ------------------------------------------------------------------ #
+    def llc_router(self, column: int) -> Router:
+        return self.llc_routers[column]
+
+    @property
+    def num_tree_nodes(self) -> int:
+        return len(self.reduction_nodes) + len(self.dispersion_nodes)

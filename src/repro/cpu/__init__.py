@@ -1,0 +1,6 @@
+"""Core models: trace-driven timing cores and their cache-side glue logic."""
+
+from repro.cpu.core_model import CoreModel
+from repro.cpu.core_node import CoreNode
+
+__all__ = ["CoreModel", "CoreNode"]

@@ -1,0 +1,208 @@
+"""Core node: a core plus its private L1 caches, MSHRs and protocol glue.
+
+The core node turns L1 misses into coherence requests addressed to the
+home LLC node, fills the L1s when data responses arrive, and services
+snoops from the directory (invalidations and forwards), which is all the
+coherence activity a core ever sees in the paper's directory protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.cache.address import AddressMapper
+from repro.cache.coherence import (
+    CacheRequest,
+    CoherenceRequestType,
+    Response,
+    ResponseType,
+    SnoopRequest,
+    SnoopType,
+)
+from repro.cache.l1 import L1Cache
+from repro.cache.mshr import MshrFile
+from repro.cache.set_assoc import CacheLineState
+from repro.config.system import SystemConfig
+from repro.config.workload import WorkloadConfig
+from repro.cpu.core_model import CoreModel
+from repro.noc.message import MessageClass
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+from repro.workloads.base import WorkloadStream
+
+#: send(dst_node, msg_class, payload, carries_data)
+SendFunction = Callable[[int, MessageClass, object, bool], None]
+
+
+class CoreNode(Component):
+    """One core tile's private-cache hierarchy and network endpoint logic."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        core_id: int,
+        node_id: int,
+        config: SystemConfig,
+        workload: WorkloadConfig,
+        stream: WorkloadStream,
+        send: SendFunction,
+        home_node_for: Callable[[int], int],
+    ) -> None:
+        super().__init__(sim, name)
+        self.core_id = core_id
+        self.node_id = node_id
+        self.config = config
+        self._send = send
+        self._home_node_for = home_node_for
+
+        caches = config.caches
+        self.mapper = AddressMapper(block_size=caches.block_size)
+        self.l1i = L1Cache(caches.l1i, f"{name}.l1i", is_instruction=True)
+        self.l1d = L1Cache(caches.l1d, f"{name}.l1d", is_instruction=False)
+        self.mshr = MshrFile(caches.mshr_entries, name=f"{name}.mshr")
+        self.core = CoreModel(sim, f"{name}.core", core_id, config.core, workload, stream, self)
+
+        stats = self.stats
+        self.requests_sent = stats.counter("requests_sent")
+        self.snoops_received = stats.counter("snoops_received")
+        self.writebacks_sent = stats.counter("writebacks_sent")
+        self.fill_latency = stats.histogram("fill_latency", keep_samples=False)
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def block_address(self, addr: int) -> int:
+        return self.mapper.block_address(addr)
+
+    def _home(self, addr: int) -> int:
+        return self._home_node_for(addr)
+
+    # ------------------------------------------------------------------ #
+    # Core-side API (called by the core timing model)
+    # ------------------------------------------------------------------ #
+    def access_instruction(self, addr: int) -> bool:
+        """Instruction fetch: returns ``True`` on an L1-I hit."""
+        if self.l1i.read(addr):
+            return True
+        block = self.block_address(addr)
+        entry = self.mshr.lookup(block)
+        if entry is not None:
+            self.mshr.merge(block)
+            return False
+        self.mshr.allocate(block, is_instruction=True, wants_exclusive=False, issue_cycle=self.sim.cycle)
+        self._issue_request(CoherenceRequestType.GETS, block, is_instruction=True)
+        return False
+
+    def probe_data(self, addr: int, is_write: bool) -> bool:
+        """Data access lookup only: returns ``True`` on an L1-D hit."""
+        if is_write:
+            hit, _needs_upgrade = self.l1d.write(addr)
+            return hit
+        return self.l1d.read(addr)
+
+    def issue_data_miss(self, addr: int, is_write: bool) -> None:
+        """Issue the coherence request for a data miss (MSHRs merge duplicates)."""
+        block = self.block_address(addr)
+        entry = self.mshr.lookup(block)
+        if entry is not None:
+            self.mshr.merge(block, wants_exclusive=is_write)
+            return
+        self.mshr.allocate(
+            block, is_instruction=False, wants_exclusive=is_write, issue_cycle=self.sim.cycle
+        )
+        req_type = CoherenceRequestType.GETX if is_write else CoherenceRequestType.GETS
+        self._issue_request(req_type, block, is_instruction=False)
+
+    def _issue_request(self, req_type: CoherenceRequestType, block: int, is_instruction: bool) -> None:
+        request = CacheRequest(
+            req_type=req_type,
+            addr=block,
+            requester_node=self.node_id,
+            requester_core=self.core_id,
+            is_instruction=is_instruction,
+        )
+        self.requests_sent.add()
+        self._send(self._home(block), MessageClass.REQUEST, request, False)
+
+    # ------------------------------------------------------------------ #
+    # Network-side API (called by the endpoint dispatch)
+    # ------------------------------------------------------------------ #
+    def handle_response(self, response: Response) -> None:
+        """Data fills and writeback acknowledgements from the directory."""
+        if response.resp_type == ResponseType.WB_ACK:
+            return
+        if response.resp_type != ResponseType.DATA:
+            raise RuntimeError(f"{self.name}: unexpected response {response.resp_type}")
+        block = self.block_address(response.addr)
+        entry = self.mshr.lookup(block)
+        if entry is not None:
+            self.fill_latency.add(self.sim.cycle - entry.issue_cycle)
+            self.mshr.release(block)
+        if response.is_instruction:
+            self.l1i.fill(block, writable=False)
+            self.core.ifetch_ready()
+            return
+        victim = self.l1d.fill(block, writable=response.grants_exclusive)
+        self._writeback_victim(victim)
+        self.core.data_ready(block)
+
+    def handle_snoop(self, snoop: SnoopRequest) -> None:
+        """Invalidations and forwards from a home directory."""
+        self.snoops_received.add()
+        block = self.block_address(snoop.addr)
+        if snoop.snoop_type == SnoopType.INVALIDATE:
+            self.l1d.snoop_invalidate(block)
+            self.l1i.snoop_invalidate(block)
+            reply = Response(ResponseType.INV_ACK, block, target_core=self.core_id)
+            self._send(snoop.home_node, MessageClass.RESPONSE, reply, False)
+            return
+        if snoop.snoop_type == SnoopType.FORWARD:
+            self.l1d.snoop_downgrade(block)
+        elif snoop.snoop_type == SnoopType.FORWARD_INV:
+            self.l1d.snoop_invalidate(block)
+        reply = Response(ResponseType.FWD_DATA, block, target_core=self.core_id)
+        self._send(snoop.home_node, MessageClass.RESPONSE, reply, True)
+
+    def _writeback_victim(self, victim: Optional[tuple]) -> None:
+        if victim is None:
+            return
+        victim_block, state = victim
+        if state != CacheLineState.MODIFIED:
+            return
+        request = CacheRequest(
+            req_type=CoherenceRequestType.PUTM,
+            addr=victim_block,
+            requester_node=self.node_id,
+            requester_core=self.core_id,
+        )
+        self.writebacks_sent.add()
+        self._send(self._home(victim_block), MessageClass.REQUEST, request, True)
+
+    # ------------------------------------------------------------------ #
+    # Warm-up and statistics
+    # ------------------------------------------------------------------ #
+    def warm_instruction(self, addr: int) -> None:
+        self.l1i.array.insert(self.block_address(addr), CacheLineState.SHARED)
+
+    def warm_data(self, addr: int, writable: bool = False) -> None:
+        state = CacheLineState.MODIFIED if writable else CacheLineState.SHARED
+        self.l1d.array.insert(self.block_address(addr), state)
+
+    def reset_statistics(self) -> None:
+        self.stats.reset()
+        self.core.reset_statistics()
+        for cache in (self.l1i, self.l1d):
+            cache.read_hits = 0
+            cache.read_misses = 0
+            cache.write_hits = 0
+            cache.write_misses = 0
+            cache.upgrade_misses = 0
+            cache.snoop_invalidations = 0
+            cache.snoop_downgrades = 0
+            cache.array.hits = 0
+            cache.array.misses = 0
+            cache.array.evictions = 0
+
+    def _tick(self) -> None:  # pragma: no cover - event driven, never ticks
+        pass

@@ -1,0 +1,34 @@
+"""Experiment harnesses: one module per table / figure in the paper.
+
+Each module exposes a ``run_*`` function returning plain dictionaries plus
+a ``render_*`` helper producing the text table the benchmarks print.  The
+benchmark suite under ``benchmarks/`` is a thin wrapper around these
+functions, so the full evaluation can also be driven programmatically (see
+``examples/``).
+"""
+
+from repro.experiments.harness import RunSettings, run_single, run_topology_sweep
+from repro.experiments import (
+    ablations,
+    fig1_scaling,
+    fig4_snoops,
+    fig7_performance,
+    fig8_area,
+    fig9_area_normalized,
+    power_analysis,
+    table1,
+)
+
+__all__ = [
+    "RunSettings",
+    "run_single",
+    "run_topology_sweep",
+    "ablations",
+    "fig1_scaling",
+    "fig4_snoops",
+    "fig7_performance",
+    "fig8_area",
+    "fig9_area_normalized",
+    "power_analysis",
+    "table1",
+]

@@ -1,0 +1,106 @@
+"""Ablation studies for NOC-Out's design choices.
+
+Three studies back the design decisions called out in the paper:
+
+* **LLC banking** (Section 4.3): four cores per LLC bank performs within a
+  couple of percent of one core per bank, so the LLC region can stay small.
+* **Tree arbitration** (Section 4.1): static priority (network over local,
+  responses over requests) versus round-robin in the reduction/dispersion
+  trees.
+* **Scaling extensions** (Section 7.1): concentration and express links for
+  configurations beyond 64 cores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.analysis.report import ReportTable
+from repro.config import presets
+from repro.config.noc import Topology
+from repro.experiments.harness import RunSettings, run_single
+
+#: Banks-per-tile sweep: 8 tiles x {1, 2, 4, 8} banks = 8..64 LLC banks,
+#: i.e. from 8 cores per bank down to 1 core per bank on a 64-core chip.
+BANKING_SWEEP = (1, 2, 4, 8)
+
+
+def run_llc_banking_ablation(
+    workload_name: str = "Data Serving",
+    banks_per_tile: Sequence[int] = BANKING_SWEEP,
+    num_cores: int = 64,
+    settings: Optional[RunSettings] = None,
+) -> Dict[int, float]:
+    """NOC-Out throughput as a function of LLC banks per tile."""
+    workload = presets.workload(workload_name)
+    settings = settings or RunSettings.from_env()
+    throughput: Dict[int, float] = {}
+    for banks in banks_per_tile:
+        result = run_single(
+            Topology.NOC_OUT,
+            workload,
+            num_cores=num_cores,
+            settings=settings,
+            noc_overrides={"llc_banks_per_tile": banks},
+        )
+        throughput[banks] = result.throughput_ipc
+    return throughput
+
+
+def run_tree_arbitration_ablation(
+    workload_name: str = "Data Serving",
+    num_cores: int = 64,
+    settings: Optional[RunSettings] = None,
+) -> Dict[str, float]:
+    """NOC-Out throughput with static-priority vs. round-robin tree arbiters."""
+    workload = presets.workload(workload_name)
+    settings = settings or RunSettings.from_env()
+    throughput: Dict[str, float] = {}
+    for policy in ("static_priority", "round_robin"):
+        result = run_single(
+            Topology.NOC_OUT,
+            workload,
+            num_cores=num_cores,
+            settings=settings,
+            noc_overrides={"tree_arbitration": policy},
+        )
+        throughput[policy] = result.throughput_ipc
+    return throughput
+
+
+def run_scaling_ablation(
+    workload_name: str = "MapReduce-W",
+    num_cores: int = 128,
+    settings: Optional[RunSettings] = None,
+) -> Dict[str, float]:
+    """128-core NOC-Out: baseline trees vs. concentration vs. express links."""
+    workload = presets.workload(workload_name)
+    settings = settings or RunSettings.from_env()
+    variants = {
+        "tall trees": {},
+        "concentration x2": {"tree_concentration": 2},
+        "express links": {"tree_express_links": True},
+        "concentration + express": {"tree_concentration": 2, "tree_express_links": True},
+    }
+    throughput: Dict[str, float] = {}
+    for label, overrides in variants.items():
+        result = run_single(
+            Topology.NOC_OUT,
+            workload,
+            num_cores=num_cores,
+            settings=settings,
+            noc_overrides=overrides,
+        )
+        throughput[label] = result.throughput_ipc
+    return throughput
+
+
+def render_ablation(results: Dict, title: str, key_label: str) -> ReportTable:
+    """Generic two-column rendition of an ablation sweep."""
+    table = ReportTable([key_label, "Throughput (IPC)", "Relative"], title=title)
+    baseline = None
+    for key, value in results.items():
+        if baseline is None:
+            baseline = value
+        table.add_row(str(key), value, value / baseline if baseline else 0.0)
+    return table

@@ -1,0 +1,81 @@
+"""Figure 1: per-core performance vs. core count, ideal vs. mesh interconnect.
+
+An 8 MB LLC is shared by all cores; growing the core count grows the die
+and therefore the average core-to-LLC distance.  With an ideal (wire-only)
+interconnect per-core performance degrades slowly; with a mesh the extra
+router traversals cost ~22 % at 64 cores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.analysis.report import ReportTable
+from repro.config import presets
+from repro.config.noc import Topology
+from repro.experiments.harness import RunSettings, run_single
+
+#: Core counts swept in Figure 1.
+CORE_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+#: The two workloads shown in Figure 1.
+WORKLOADS = tuple(presets.FIGURE1_WORKLOADS)
+#: Paper reference: at 64 cores the mesh loses ~22 % vs. the ideal fabric.
+PAPER_MESH_PENALTY_AT_64 = 0.22
+
+
+def run_figure1(
+    workload_names: Optional[Iterable[str]] = None,
+    core_counts: Sequence[int] = CORE_COUNTS,
+    settings: Optional[RunSettings] = None,
+) -> Dict[str, Dict[str, Dict[int, float]]]:
+    """Per-core performance normalised to the single-core run.
+
+    Returns ``{workload: {"ideal"|"mesh": {core_count: normalised per-core perf}}}``.
+    """
+    names = list(workload_names) if workload_names is not None else list(WORKLOADS)
+    settings = settings or RunSettings.from_env()
+    curves: Dict[str, Dict[str, Dict[int, float]]] = {}
+    for name in names:
+        workload = presets.workload(name)
+        curves[name] = {"ideal": {}, "mesh": {}}
+        for topology, label in ((Topology.IDEAL, "ideal"), (Topology.MESH, "mesh")):
+            per_core = {}
+            for count in core_counts:
+                result = run_single(
+                    topology, workload, num_cores=count, settings=settings
+                )
+                per_core[count] = result.per_core_ipc
+            baseline = per_core[core_counts[0]]
+            curves[name][label] = {
+                count: (value / baseline if baseline else 0.0)
+                for count, value in per_core.items()
+            }
+    return curves
+
+
+def mesh_penalty(curves: Dict[str, Dict[str, Dict[int, float]]], core_count: int = 64) -> float:
+    """Average performance loss of the mesh vs. ideal at ``core_count`` cores."""
+    penalties = []
+    for name, data in curves.items():
+        ideal = data["ideal"].get(core_count)
+        mesh = data["mesh"].get(core_count)
+        if ideal and mesh:
+            penalties.append(1.0 - mesh / ideal)
+    return sum(penalties) / len(penalties) if penalties else 0.0
+
+
+def render_figure1(curves: Dict[str, Dict[str, Dict[int, float]]]) -> ReportTable:
+    """Text rendition of Figure 1."""
+    core_counts = sorted(next(iter(curves.values()))["ideal"])
+    table = ReportTable(
+        ["Series"] + [str(c) for c in core_counts],
+        title="Figure 1: per-core performance normalised to 1 core",
+    )
+    for name, data in curves.items():
+        for label in ("ideal", "mesh"):
+            series = data[label]
+            table.add_row(
+                f"{name} ({label.capitalize()})",
+                *[series[count] for count in core_counts],
+            )
+    return table

@@ -1,0 +1,73 @@
+"""Figure 7: system performance normalised to the mesh baseline.
+
+The paper reports that the flattened butterfly outperforms the mesh by
+7-31 % (geometric mean 17 %), and that NOC-Out matches the flattened
+butterfly on average: slightly behind on Data Serving (bank contention),
+slightly ahead on Web Search (shorter core-to-LLC distance).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.analysis.metrics import geometric_mean
+from repro.analysis.report import ReportTable
+from repro.config import presets
+from repro.config.noc import Topology
+from repro.experiments.harness import RunSettings, run_topology_sweep
+
+#: Approximate values read off Figure 7 (normalised to mesh = 1.0).  Used
+#: for paper-vs-measured comparison in EXPERIMENTS.md, not for validation.
+PAPER_REFERENCE = {
+    "Data Serving": {"flattened_butterfly": 1.31, "noc_out": 1.27},
+    "MapReduce-C": {"flattened_butterfly": 1.17, "noc_out": 1.17},
+    "MapReduce-W": {"flattened_butterfly": 1.14, "noc_out": 1.14},
+    "SAT Solver": {"flattened_butterfly": 1.12, "noc_out": 1.12},
+    "Web Frontend": {"flattened_butterfly": 1.19, "noc_out": 1.19},
+    "Web Search": {"flattened_butterfly": 1.07, "noc_out": 1.10},
+    "GMean": {"flattened_butterfly": 1.17, "noc_out": 1.17},
+}
+
+TOPOLOGIES = (Topology.MESH, Topology.FLATTENED_BUTTERFLY, Topology.NOC_OUT)
+
+
+def run_figure7(
+    workload_names: Optional[Iterable[str]] = None,
+    num_cores: int = 64,
+    settings: Optional[RunSettings] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Run the Figure-7 sweep; returns normalised performance per workload."""
+    names = list(workload_names) if workload_names is not None else list(presets.WORKLOAD_NAMES)
+    results = run_topology_sweep(names, TOPOLOGIES, num_cores=num_cores, settings=settings)
+
+    normalised: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        mesh = results[(name, Topology.MESH)].throughput_ipc
+        row = {}
+        for topology in TOPOLOGIES:
+            value = results[(name, topology)].throughput_ipc
+            row[topology.value] = value / mesh if mesh else 0.0
+        normalised[name] = row
+    gmean_row = {}
+    for topology in TOPOLOGIES:
+        gmean_row[topology.value] = geometric_mean(
+            [normalised[name][topology.value] for name in names]
+        )
+    normalised["GMean"] = gmean_row
+    return normalised
+
+
+def render_figure7(normalised: Dict[str, Dict[str, float]]) -> ReportTable:
+    """Text rendition of Figure 7."""
+    table = ReportTable(
+        ["Workload", "Mesh", "Flattened Butterfly", "NOC-Out"],
+        title="Figure 7: system performance normalised to mesh",
+    )
+    for name, row in normalised.items():
+        table.add_row(
+            name,
+            row.get(Topology.MESH.value, 1.0),
+            row.get(Topology.FLATTENED_BUTTERFLY.value, 0.0),
+            row.get(Topology.NOC_OUT.value, 0.0),
+        )
+    return table

@@ -1,0 +1,58 @@
+"""Figure 8: NoC area breakdown (links, buffers, crossbars).
+
+The paper reports ~3.5 mm2 for the mesh, ~23 mm2 for the flattened
+butterfly (~7x the mesh) and ~2.5 mm2 for NOC-Out (28 % below the mesh and
+over 9x below the flattened butterfly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.analysis.report import ReportTable
+from repro.config import presets
+from repro.config.noc import Topology
+from repro.power.area_model import AreaBreakdown, NocAreaModel
+
+#: Total NoC areas reported by the paper (mm2).
+PAPER_REFERENCE = {
+    "mesh": 3.5,
+    "flattened_butterfly": 23.0,
+    "noc_out": 2.5,
+}
+
+TOPOLOGIES = (Topology.MESH, Topology.FLATTENED_BUTTERFLY, Topology.NOC_OUT)
+
+
+def run_figure8(
+    num_cores: int = 64,
+    link_width_bits: int = 128,
+    area_model: Optional[NocAreaModel] = None,
+) -> Dict[str, AreaBreakdown]:
+    """Area breakdown for the three evaluated NoC organizations."""
+    model = area_model or NocAreaModel()
+    breakdowns: Dict[str, AreaBreakdown] = {}
+    for topology in TOPOLOGIES:
+        config = presets.baseline_system(
+            topology, num_cores=num_cores, link_width_bits=link_width_bits
+        )
+        breakdowns[topology.value] = model.breakdown(config)
+    return breakdowns
+
+
+def render_figure8(breakdowns: Dict[str, AreaBreakdown]) -> ReportTable:
+    """Text rendition of Figure 8."""
+    table = ReportTable(
+        ["Organization", "Links (mm2)", "Buffers (mm2)", "Crossbars (mm2)", "Total (mm2)", "Paper total"],
+        title="Figure 8: NoC area breakdown",
+    )
+    for name, breakdown in breakdowns.items():
+        table.add_row(
+            name,
+            breakdown.links_mm2,
+            breakdown.buffers_mm2,
+            breakdown.crossbars_mm2,
+            breakdown.total_mm2,
+            PAPER_REFERENCE.get(name, float("nan")),
+        )
+    return table

@@ -1,0 +1,98 @@
+"""Figure 9: performance under a fixed NoC area budget.
+
+The mesh and flattened-butterfly link widths are reduced until their total
+NoC area matches NOC-Out's (~2.5 mm2).  The mesh degrades only slightly
+(serialisation stays small relative to header latency) while the flattened
+butterfly, whose links shrink by roughly 7x, loses heavily to serialisation.
+The paper reports NOC-Out ahead of the area-normalised mesh by ~19 % and
+ahead of the area-normalised flattened butterfly by ~65 %.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.analysis.metrics import geometric_mean
+from repro.analysis.report import ReportTable
+from repro.config import presets
+from repro.config.noc import Topology
+from repro.experiments.harness import RunSettings, run_topology_sweep
+from repro.power.area_model import NocAreaModel, link_width_for_area_budget
+
+#: Paper reference (geometric mean, normalised to the area-budgeted mesh).
+PAPER_REFERENCE = {
+    "mesh": 1.0,
+    "flattened_butterfly": 0.72,
+    "noc_out": 1.19,
+}
+
+TOPOLOGIES = (Topology.MESH, Topology.FLATTENED_BUTTERFLY, Topology.NOC_OUT)
+
+
+def area_budget_link_widths(
+    num_cores: int = 64, area_model: Optional[NocAreaModel] = None
+) -> Tuple[float, Dict[Topology, int]]:
+    """NOC-Out's area budget and the link widths that fit the other NoCs in it."""
+    model = area_model or NocAreaModel()
+    nocout_config = presets.nocout_system(num_cores=num_cores)
+    budget = model.total_area_mm2(nocout_config)
+    widths = {Topology.NOC_OUT: 128}
+    for topology in (Topology.MESH, Topology.FLATTENED_BUTTERFLY):
+        config = presets.baseline_system(topology, num_cores=num_cores)
+        widths[topology] = link_width_for_area_budget(config, budget, area_model=model)
+    return budget, widths
+
+
+def run_figure9(
+    workload_names: Optional[Iterable[str]] = None,
+    num_cores: int = 64,
+    settings: Optional[RunSettings] = None,
+) -> Dict[str, object]:
+    """Run the area-normalised comparison.
+
+    Returns a dictionary with the area budget, the chosen link widths and
+    per-workload performance normalised to the area-budgeted mesh.
+    """
+    names = list(workload_names) if workload_names is not None else list(presets.WORKLOAD_NAMES)
+    budget, widths = area_budget_link_widths(num_cores=num_cores)
+    results = run_topology_sweep(
+        names, TOPOLOGIES, num_cores=num_cores, settings=settings, link_widths=widths
+    )
+    normalised: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        mesh = results[(name, Topology.MESH)].throughput_ipc
+        normalised[name] = {
+            topology.value: (results[(name, topology)].throughput_ipc / mesh if mesh else 0.0)
+            for topology in TOPOLOGIES
+        }
+    normalised["GMean"] = {
+        topology.value: geometric_mean([normalised[name][topology.value] for name in names])
+        for topology in TOPOLOGIES
+    }
+    return {
+        "area_budget_mm2": budget,
+        "link_widths": {topology.value: width for topology, width in widths.items()},
+        "normalised_performance": normalised,
+    }
+
+
+def render_figure9(outcome: Dict[str, object]) -> ReportTable:
+    """Text rendition of Figure 9."""
+    widths = outcome["link_widths"]
+    table = ReportTable(
+        ["Workload", "Mesh", "Flattened Butterfly", "NOC-Out"],
+        title=(
+            "Figure 9: performance under a "
+            f"{outcome['area_budget_mm2']:.2f} mm2 NoC budget "
+            f"(link widths: mesh={widths['mesh']}b, "
+            f"fbfly={widths['flattened_butterfly']}b, noc_out={widths['noc_out']}b)"
+        ),
+    )
+    for name, row in outcome["normalised_performance"].items():
+        table.add_row(
+            name,
+            row[Topology.MESH.value],
+            row[Topology.FLATTENED_BUTTERFLY.value],
+            row[Topology.NOC_OUT.value],
+        )
+    return table

@@ -1,0 +1,123 @@
+"""Shared machinery for running the paper's experiments."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.chip.chip import Chip, SimulationResults
+from repro.config import presets
+from repro.config.noc import Topology
+from repro.config.system import SystemConfig
+from repro.config.workload import WorkloadConfig
+
+#: Environment variable scaling the simulated window length of every
+#: experiment (1.0 = default; smaller values make the benchmarks faster but
+#: noisier, larger values make them slower but smoother).
+SCALE_ENV_VAR = "REPRO_EXPERIMENT_SCALE"
+
+
+@dataclass(frozen=True)
+class RunSettings:
+    """Length of the warm-up and measurement windows for one run."""
+
+    warmup_references: int = 2500
+    detailed_warmup_cycles: int = 1500
+    measure_cycles: int = 6000
+    seed: int = 42
+
+    @classmethod
+    def from_env(cls, base: Optional["RunSettings"] = None) -> "RunSettings":
+        """Apply the ``REPRO_EXPERIMENT_SCALE`` multiplier to a base setting."""
+        settings = base or cls()
+        scale = float(os.environ.get(SCALE_ENV_VAR, "1.0"))
+        if scale <= 0:
+            raise ValueError(f"{SCALE_ENV_VAR} must be positive")
+        return replace(
+            settings,
+            detailed_warmup_cycles=max(200, int(settings.detailed_warmup_cycles * scale)),
+            measure_cycles=max(500, int(settings.measure_cycles * scale)),
+        )
+
+    def scaled(self, factor: float) -> "RunSettings":
+        return replace(
+            self,
+            detailed_warmup_cycles=max(200, int(self.detailed_warmup_cycles * factor)),
+            measure_cycles=max(500, int(self.measure_cycles * factor)),
+        )
+
+
+def system_for(
+    topology: Topology,
+    workload: WorkloadConfig,
+    num_cores: int = 64,
+    link_width_bits: int = 128,
+    seed: int = 42,
+    noc_overrides: Optional[dict] = None,
+) -> SystemConfig:
+    """Build the :class:`SystemConfig` for one experimental point."""
+    config = presets.baseline_system(
+        topology, num_cores=num_cores, link_width_bits=link_width_bits, seed=seed
+    )
+    if noc_overrides:
+        noc = config.noc
+        for key, value in noc_overrides.items():
+            if not hasattr(noc, key):
+                raise AttributeError(f"NocConfig has no field {key!r}")
+        import dataclasses
+
+        noc = dataclasses.replace(noc, **noc_overrides)
+        config = config.with_noc(noc)
+    return config.with_workload(workload)
+
+
+def run_single(
+    topology: Topology,
+    workload: WorkloadConfig,
+    num_cores: int = 64,
+    link_width_bits: int = 128,
+    settings: Optional[RunSettings] = None,
+    noc_overrides: Optional[dict] = None,
+) -> SimulationResults:
+    """Run one (topology, workload) point and return its measurements."""
+    settings = settings or RunSettings.from_env()
+    config = system_for(
+        topology,
+        workload,
+        num_cores=num_cores,
+        link_width_bits=link_width_bits,
+        seed=settings.seed,
+        noc_overrides=noc_overrides,
+    )
+    chip = Chip(config)
+    return chip.run_experiment(
+        warmup_references=settings.warmup_references,
+        detailed_warmup_cycles=settings.detailed_warmup_cycles,
+        measure_cycles=settings.measure_cycles,
+    )
+
+
+def run_topology_sweep(
+    workload_names: Iterable[str],
+    topologies: Iterable[Topology],
+    num_cores: int = 64,
+    settings: Optional[RunSettings] = None,
+    link_widths: Optional[Dict[Topology, int]] = None,
+) -> Dict[Tuple[str, Topology], SimulationResults]:
+    """Run the cross product of workloads and topologies."""
+    settings = settings or RunSettings.from_env()
+    link_widths = link_widths or {}
+    results: Dict[Tuple[str, Topology], SimulationResults] = {}
+    for name in workload_names:
+        workload = presets.workload(name)
+        for topology in topologies:
+            width = link_widths.get(topology, 128)
+            results[(name, topology)] = run_single(
+                topology,
+                workload,
+                num_cores=num_cores,
+                link_width_bits=width,
+                settings=settings,
+            )
+    return results

@@ -1,0 +1,21 @@
+"""Table 1: evaluation parameters."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.report import ReportTable
+from repro.config import presets
+
+
+def run_table1() -> Dict[str, str]:
+    """The evaluation parameters as (parameter, value) pairs."""
+    return presets.table1_summary()
+
+
+def render_table1(parameters: Dict[str, str]) -> ReportTable:
+    """Text rendition of Table 1."""
+    table = ReportTable(["Parameter", "Value"], title="Table 1: evaluation parameters")
+    for key, value in parameters.items():
+        table.add_row(key, value)
+    return table

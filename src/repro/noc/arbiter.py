@@ -1,0 +1,86 @@
+"""Arbitration policies for router output ports.
+
+Two policies are used in the paper's designs:
+
+* conventional routers (mesh, flattened butterfly, LLC network) use
+  round-robin arbitration among the competing input VCs;
+* the NOC-Out reduction/dispersion tree nodes use *static priority*
+  arbitration, preferring network traffic over the local port and
+  responses over requests (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.noc.message import MessageClass, Packet
+from repro.noc.buffer import VirtualChannelBuffer
+
+
+@dataclass
+class ArbitrationCandidate:
+    """One input VC competing for an output port this cycle."""
+
+    in_port: int
+    vc_index: int
+    buffer: VirtualChannelBuffer
+    packet: Packet
+    is_local: bool = False
+
+
+class Arbiter:
+    """Interface for output-port arbiters."""
+
+    def choose(self, candidates: Sequence[ArbitrationCandidate]) -> Optional[ArbitrationCandidate]:
+        raise NotImplementedError
+
+
+class RoundRobinArbiter(Arbiter):
+    """Fair round-robin over (input port, VC) pairs."""
+
+    def __init__(self) -> None:
+        self._last_winner: Optional[tuple] = None
+
+    def choose(self, candidates: Sequence[ArbitrationCandidate]) -> Optional[ArbitrationCandidate]:
+        if not candidates:
+            return None
+        ordered = sorted(candidates, key=lambda c: (c.in_port, c.vc_index))
+        if self._last_winner is None:
+            winner = ordered[0]
+        else:
+            keys: List[tuple] = [(c.in_port, c.vc_index) for c in ordered]
+            start = 0
+            for i, key in enumerate(keys):
+                if key > self._last_winner:
+                    start = i
+                    break
+            winner = ordered[start]
+        self._last_winner = (winner.in_port, winner.vc_index)
+        return winner
+
+
+class StaticPriorityArbiter(Arbiter):
+    """Fixed-priority arbitration used by NOC-Out tree nodes.
+
+    Priority order (highest first), from Section 4.1 of the paper:
+    network responses, local responses, network requests, local requests.
+    Snoop requests share the priority level of requests.
+    """
+
+    _CLASS_PRIORITY = {
+        MessageClass.RESPONSE: 0,
+        MessageClass.SNOOP: 1,
+        MessageClass.REQUEST: 1,
+    }
+
+    def choose(self, candidates: Sequence[ArbitrationCandidate]) -> Optional[ArbitrationCandidate]:
+        if not candidates:
+            return None
+
+        def priority(candidate: ArbitrationCandidate) -> tuple:
+            class_rank = self._CLASS_PRIORITY[candidate.packet.msg_class]
+            local_rank = 1 if candidate.is_local else 0
+            return (class_rank, local_rank, candidate.in_port, candidate.vc_index)
+
+        return min(candidates, key=priority)

@@ -1,0 +1,122 @@
+"""Two-dimensional flattened butterfly interconnect (Figure 3).
+
+Every router is fully connected to all routers in its row and in its
+column, so any packet needs at most two network hops.  Routers use a
+three-stage non-speculative pipeline and link latency grows with the
+physical span of the link (up to two tiles per cycle, Table 1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from repro.config.system import SystemConfig
+from repro.sim.kernel import Simulator
+from repro.noc.buffer import InputPort
+from repro.noc.network import Network
+from repro.noc.router import Router
+from repro.noc.topology import GridGeometry, tiled_grid_geometry
+
+Coordinate = Tuple[int, int]
+
+
+class FlattenedButterflyNetwork(Network):
+    """2-D flattened butterfly with dimension-order (X then Y) routing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SystemConfig,
+        node_coords: Dict[int, Coordinate],
+        name: str = "fbfly",
+    ) -> None:
+        super().__init__(sim, config, name, node_coords.keys())
+        self.node_coords = dict(node_coords)
+        self.geometry: GridGeometry = tiled_grid_geometry(config)
+        self._router_at: Dict[Coordinate, Router] = {}
+        self._express_port: Dict[Tuple[Coordinate, Coordinate], int] = {}
+        self._eject_port: Dict[Tuple[Coordinate, int], int] = {}
+
+        self._build_routers()
+        self._build_express_links()
+        self._attach_interfaces()
+        self._build_routing_tables()
+
+    # ------------------------------------------------------------------ #
+    def _new_input_port(self, label: str) -> InputPort:
+        return InputPort(
+            num_vcs=self.noc.fbfly_vcs_per_port,
+            vc_depth_flits=self.noc.fbfly_vc_depth_flits,
+            name=label,
+        )
+
+    def _build_routers(self) -> None:
+        for coord in self.geometry.all_coords():
+            router = Router(
+                self.sim,
+                f"{self.name}.r{coord[0]}_{coord[1]}",
+                pipeline_latency=self.noc.fbfly_router_pipeline,
+            )
+            self._router_at[coord] = router
+            self.routers.append(router)
+
+    def link_latency_for_span(self, span_tiles: int) -> int:
+        """Cycles needed to traverse a link spanning ``span_tiles`` tiles."""
+        if span_tiles <= 0:
+            return 1
+        return max(1, math.ceil(span_tiles / self.noc.fbfly_tiles_per_cycle))
+
+    def _build_express_links(self) -> None:
+        tile_mm = self.geometry.tile_width_mm
+        for coord, router in self._router_at.items():
+            col, row = coord
+            peers = [(c, row) for c in range(self.geometry.cols) if c != col]
+            peers += [(col, r) for r in range(self.geometry.rows) if r != row]
+            for peer_coord in peers:
+                peer = self._router_at[peer_coord]
+                span = self.geometry.manhattan_tiles(coord, peer_coord)
+                in_port = peer.add_input_port(
+                    self._new_input_port(f"{peer.name}.in_from{col}_{row}")
+                )
+                out_port = router.add_output_port(
+                    f"to{peer_coord[0]}_{peer_coord[1]}",
+                    peer,
+                    in_port,
+                    link_latency=self.link_latency_for_span(span),
+                    link_length_mm=span * tile_mm,
+                )
+                self._express_port[(coord, peer_coord)] = out_port
+
+    def _attach_interfaces(self) -> None:
+        for node_id, coord in self.node_coords.items():
+            router = self._router_at[coord]
+            interface = self.interfaces[node_id]
+            in_port = router.add_input_port(
+                self._new_input_port(f"{router.name}.in_local{node_id}"), is_local=True
+            )
+            interface.attach_router(router, in_port)
+            out_port = router.add_output_port(
+                f"eject{node_id}", interface, 0, link_latency=0, link_length_mm=0.0
+            )
+            self._eject_port[(coord, node_id)] = out_port
+
+    def _build_routing_tables(self) -> None:
+        for coord, router in self._router_at.items():
+            for node_id, dst_coord in self.node_coords.items():
+                router.set_route(node_id, self._next_port(coord, dst_coord, node_id))
+
+    def _next_port(self, coord: Coordinate, dst_coord: Coordinate, node_id: int) -> int:
+        """Dimension-order routing: jump to the destination column, then row."""
+        if coord == dst_coord:
+            return self._eject_port[(coord, node_id)]
+        if dst_coord[0] != coord[0]:
+            hop = (dst_coord[0], coord[1])
+        else:
+            hop = (coord[0], dst_coord[1])
+        return self._express_port[(coord, hop)]
+
+    # ------------------------------------------------------------------ #
+    def router_at(self, coord: Coordinate) -> Router:
+        """The router at grid coordinate ``coord`` (used by tests)."""
+        return self._router_at[coord]

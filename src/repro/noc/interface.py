@@ -1,0 +1,109 @@
+"""Network interfaces: injection and ejection points for endpoints."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Optional
+
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+from repro.noc.buffer import InputPort, unbounded_input_port
+from repro.noc.message import Message, MessageClass, Packet
+from repro.noc.router import PacketSink, Router
+
+
+class NetworkInterface(Component, PacketSink):
+    """Connects one endpoint (tile / LLC tile / memory controller) to a router.
+
+    Injection: messages are queued per message class and pushed into the
+    attached router's input port as soon as the corresponding VC can accept
+    them.  Ejection: the last router on a path forwards the packet to this
+    interface, which delivers the message to the endpoint after the packet's
+    serialization delay (one flit per cycle).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        node_id: int,
+        link_width_bits: int,
+        on_delivery: Callable[[Packet], None],
+        injection_latency: int = 1,
+    ) -> None:
+        super().__init__(sim, name)
+        self.node_id = node_id
+        self.link_width_bits = link_width_bits
+        self.injection_latency = injection_latency
+        self._on_delivery = on_delivery
+        self._inject_queues: Dict[MessageClass, deque] = {cls: deque() for cls in MessageClass}
+        self.input_ports = [unbounded_input_port(name=f"{name}.eject")]
+        self._router: Optional[Router] = None
+        self._router_port: Optional[int] = None
+        # Statistics / activity
+        self.messages_injected = 0
+        self.messages_delivered = 0
+        self.flits_injected = 0
+
+    # ------------------------------------------------------------------ #
+    def attach_router(self, router: Router, router_in_port: int) -> None:
+        """Declare the router input port this interface injects into."""
+        self._router = router
+        self._router_port = router_in_port
+
+    # ------------------------------------------------------------------ #
+    # Injection
+    # ------------------------------------------------------------------ #
+    def inject(self, message: Message) -> Packet:
+        """Queue ``message`` for injection; returns the wrapping packet."""
+        packet = Packet(message, self.link_width_bits, injected_cycle=self.sim.cycle)
+        self._inject_queues[message.msg_class].append(packet)
+        self.messages_injected += 1
+        self.flits_injected += packet.num_flits
+        self.wake(0)
+        return packet
+
+    def _tick(self) -> None:
+        if self._router is None:
+            raise RuntimeError(f"{self.name}: interface not attached to a router")
+        pending = False
+        in_port = self._router.input_ports[self._router_port]
+        for msg_class in (MessageClass.RESPONSE, MessageClass.SNOOP, MessageClass.REQUEST):
+            queue = self._inject_queues[msg_class]
+            if not queue:
+                continue
+            packet = queue[0]
+            vc_index = in_port.vc_index_for(msg_class)
+            vc = in_port.vcs[vc_index]
+            if vc.can_reserve(packet.num_flits):
+                vc.reserve(packet.num_flits)
+                queue.popleft()
+                router = self._router
+                port = self._router_port
+                self.sim.schedule(
+                    lambda p=packet, r=router, ip=port, v=vc_index: r.receive_packet(p, ip, v),
+                    self.injection_latency,
+                )
+            if queue:
+                pending = True
+        if pending:
+            self.wake(1)
+
+    @property
+    def injection_backlog(self) -> int:
+        """Packets waiting to enter the network."""
+        return sum(len(q) for q in self._inject_queues.values())
+
+    # ------------------------------------------------------------------ #
+    # Ejection
+    # ------------------------------------------------------------------ #
+    def receive_packet(self, packet: Packet, in_port: int, vc_index: int) -> None:
+        vc = self.input_ports[in_port].vcs[vc_index]
+        vc.push(packet)
+        vc.pop()  # the ejection port drains immediately; capacity is unbounded
+        serialization = max(0, packet.num_flits - 1)
+        self.sim.schedule(lambda p=packet: self._deliver(p), serialization)
+
+    def _deliver(self, packet: Packet) -> None:
+        self.messages_delivered += 1
+        self._on_delivery(packet)

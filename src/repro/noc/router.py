@@ -1,0 +1,242 @@
+"""Generic table-routed virtual-cut-through router.
+
+A single router class covers every switching element in the paper: mesh
+routers, flattened-butterfly routers, NOC-Out LLC routers, and (with two
+ports and static-priority arbitration) the reduction/dispersion tree nodes.
+The topology-specific network classes build routers, wire their ports and
+fill their routing tables.
+
+Timing model
+------------
+When a packet at the head of an input VC wins arbitration for a free output
+port at cycle ``T`` it is removed from the input buffer, space is reserved
+in the downstream VC, and the packet is delivered to the downstream input
+buffer at ``T + pipeline_latency + link_latency``.  The output port is held
+busy for ``num_flits`` cycles, which models serialization / bandwidth; a
+final serialization charge is applied once at the ejection interface
+(virtual cut-through behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+from repro.noc.arbiter import ArbitrationCandidate, Arbiter, RoundRobinArbiter
+from repro.noc.buffer import InputPort
+from repro.noc.message import MessageClass, Packet
+
+
+class OutputPort:
+    """An output port: a link to a downstream component's input port."""
+
+    def __init__(
+        self,
+        name: str,
+        downstream: "PacketSink",
+        downstream_port: int,
+        link_latency: int,
+        link_length_mm: float = 0.0,
+    ) -> None:
+        self.name = name
+        self.downstream = downstream
+        self.downstream_port = downstream_port
+        self.link_latency = link_latency
+        self.link_length_mm = link_length_mm
+        self.busy_until = 0
+        self.flits_sent = 0
+        self.packets_sent = 0
+
+    def downstream_input(self) -> InputPort:
+        return self.downstream.input_ports[self.downstream_port]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"OutputPort({self.name} -> {self.downstream!r}.{self.downstream_port})"
+
+
+class PacketSink:
+    """Protocol implemented by anything that can receive packets.
+
+    Routers and network interfaces both expose ``input_ports`` and
+    ``receive_packet``; this base class only documents the contract.
+    """
+
+    input_ports: List[InputPort]
+
+    def receive_packet(self, packet: Packet, in_port: int, vc_index: int) -> None:
+        raise NotImplementedError
+
+
+class Router(Component, PacketSink):
+    """A virtual-channel router with a per-destination routing table."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        *,
+        pipeline_latency: int = 2,
+        arbiter_factory: Callable[[], Arbiter] = RoundRobinArbiter,
+    ) -> None:
+        super().__init__(sim, name)
+        if pipeline_latency < 0:
+            raise ValueError("pipeline_latency must be non-negative")
+        self.pipeline_latency = pipeline_latency
+        self.input_ports: List[InputPort] = []
+        self.output_ports: List[OutputPort] = []
+        self.route_table: Dict[int, int] = {}
+        self._arbiter_factory = arbiter_factory
+        self._arbiters: List[Arbiter] = []
+        self._local_input_ports: set = set()
+        # Activity counters consumed by the energy model.
+        self.flits_switched = 0
+        self.packets_switched = 0
+        self.buffer_flit_writes = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_input_port(self, port: InputPort, is_local: bool = False) -> int:
+        """Attach an input port; returns its index."""
+        self.input_ports.append(port)
+        index = len(self.input_ports) - 1
+        if is_local:
+            self._local_input_ports.add(index)
+        return index
+
+    def add_output_port(
+        self,
+        name: str,
+        downstream: PacketSink,
+        downstream_port: int,
+        link_latency: int,
+        link_length_mm: float = 0.0,
+    ) -> int:
+        """Attach an output port; returns its index."""
+        if self.pipeline_latency + link_latency < 1:
+            raise ValueError("per-hop latency (pipeline + link) must be >= 1 cycle")
+        port = OutputPort(name, downstream, downstream_port, link_latency, link_length_mm)
+        self.output_ports.append(port)
+        self._arbiters.append(self._arbiter_factory())
+        return len(self.output_ports) - 1
+
+    def set_route(self, dst_node: int, out_port: int) -> None:
+        """Route packets destined to ``dst_node`` through ``out_port``."""
+        if not 0 <= out_port < len(self.output_ports):
+            raise ValueError(f"{self.name}: invalid output port {out_port}")
+        self.route_table[dst_node] = out_port
+
+    def route(self, packet: Packet) -> int:
+        """Output port index for ``packet`` (table lookup)."""
+        try:
+            return self.route_table[packet.dst]
+        except KeyError:
+            raise KeyError(f"{self.name}: no route to node {packet.dst}") from None
+
+    @property
+    def radix(self) -> int:
+        """Number of ports (max of inputs and outputs), used by area/energy."""
+        return max(len(self.input_ports), len(self.output_ports))
+
+    # ------------------------------------------------------------------ #
+    # Packet reception
+    # ------------------------------------------------------------------ #
+    def receive_packet(self, packet: Packet, in_port: int, vc_index: int) -> None:
+        buffer = self.input_ports[in_port].vcs[vc_index]
+        buffer.push(packet)
+        self.buffer_flit_writes += packet.num_flits
+        self.wake(0)
+
+    # ------------------------------------------------------------------ #
+    # Per-cycle switching
+    # ------------------------------------------------------------------ #
+    def _tick(self) -> None:
+        now = self.sim.cycle
+        candidates_by_output: Dict[int, List[ArbitrationCandidate]] = {}
+        any_buffered = False
+        for in_index, in_port in enumerate(self.input_ports):
+            for vc_index, vc in enumerate(in_port.vcs):
+                packet = vc.peek()
+                if packet is None:
+                    continue
+                any_buffered = True
+                out_index = self.route(packet)
+                out_port = self.output_ports[out_index]
+                if out_port.busy_until > now:
+                    continue
+                downstream_vc = out_port.downstream_input().vc_for(packet.msg_class)
+                if not downstream_vc.can_reserve(packet.num_flits):
+                    continue
+                candidates_by_output.setdefault(out_index, []).append(
+                    ArbitrationCandidate(
+                        in_port=in_index,
+                        vc_index=vc_index,
+                        buffer=vc,
+                        packet=packet,
+                        is_local=in_index in self._local_input_ports,
+                    )
+                )
+        for out_index, candidates in candidates_by_output.items():
+            winner = self._arbiters[out_index].choose(candidates)
+            if winner is not None:
+                self._forward(winner, self.output_ports[out_index], now)
+        if any_buffered:
+            self.wake(1)
+
+    def _collect_candidates(self, out_index: int) -> List[ArbitrationCandidate]:
+        """Candidates competing for one output port (used by unit tests)."""
+        candidates: List[ArbitrationCandidate] = []
+        for in_index, in_port in enumerate(self.input_ports):
+            for vc_index, vc in enumerate(in_port.vcs):
+                packet = vc.peek()
+                if packet is None:
+                    continue
+                if self.route(packet) != out_index:
+                    continue
+                downstream_vc = self.output_ports[out_index].downstream_input().vc_for(
+                    packet.msg_class
+                )
+                if not downstream_vc.can_reserve(packet.num_flits):
+                    continue
+                candidates.append(
+                    ArbitrationCandidate(
+                        in_port=in_index,
+                        vc_index=vc_index,
+                        buffer=vc,
+                        packet=packet,
+                        is_local=in_index in self._local_input_ports,
+                    )
+                )
+        return candidates
+
+    def _forward(self, winner: ArbitrationCandidate, out_port: OutputPort, now: int) -> None:
+        packet = winner.buffer.pop()
+        downstream_port = out_port.downstream_input()
+        downstream_vc_index = downstream_port.vc_index_for(packet.msg_class)
+        downstream_port.vcs[downstream_vc_index].reserve(packet.num_flits)
+
+        packet.hops += 1
+        self.flits_switched += packet.num_flits
+        self.packets_switched += 1
+        out_port.flits_sent += packet.num_flits
+        out_port.packets_sent += 1
+        out_port.busy_until = now + packet.num_flits
+
+        arrival = now + self.pipeline_latency + out_port.link_latency
+        downstream = out_port.downstream
+        in_port = out_port.downstream_port
+        self.sim.schedule_at(
+            lambda p=packet, d=downstream, ip=in_port, vc=downstream_vc_index: d.receive_packet(
+                p, ip, vc
+            ),
+            arrival,
+        )
+
+    def _has_buffered_packets(self) -> bool:
+        return any(not port.empty for port in self.input_ports)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def buffered_packets(self) -> int:
+        return sum(len(vc) for port in self.input_ports for vc in port.vcs)

@@ -1,0 +1,27 @@
+"""Area and energy models for the on-chip network (Figures 8, 9 and §6.4).
+
+The models are analytic, in the spirit of ORION 2.0 and CACTI 6.5 that the
+paper uses, with constants calibrated against the paper's published
+figures: a 5-port 3-VC mesh NoC around 3.5 mm², a 15-port flattened
+butterfly around 23 mm², and NOC-Out around 2.5 mm² at 32 nm with 128-bit
+links.
+"""
+
+from repro.power.wire import WireModel
+from repro.power.orion import BufferAreaModel, CrossbarAreaModel, RouterEnergyModel
+from repro.power.cacti import CacheAreaModel
+from repro.power.area_model import AreaBreakdown, NocAreaModel, link_width_for_area_budget
+from repro.power.energy_model import NocEnergyModel, NocPowerReport
+
+__all__ = [
+    "WireModel",
+    "BufferAreaModel",
+    "CrossbarAreaModel",
+    "RouterEnergyModel",
+    "CacheAreaModel",
+    "AreaBreakdown",
+    "NocAreaModel",
+    "link_width_for_area_budget",
+    "NocEnergyModel",
+    "NocPowerReport",
+]

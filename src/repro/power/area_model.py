@@ -1,0 +1,102 @@
+"""NoC area model: Figure 8 (area breakdown) and Figure 9 (area budgeting)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.system import SystemConfig
+from repro.noc.topology import TopologyDescriptor, describe_topology
+from repro.power.orion import BufferAreaModel, CrossbarAreaModel
+from repro.power.wire import WireModel
+
+
+@dataclass
+class AreaBreakdown:
+    """NoC area split the way Figure 8 reports it."""
+
+    links_mm2: float = 0.0
+    buffers_mm2: float = 0.0
+    crossbars_mm2: float = 0.0
+
+    @property
+    def total_mm2(self) -> float:
+        return self.links_mm2 + self.buffers_mm2 + self.crossbars_mm2
+
+    def as_dict(self) -> dict:
+        return {
+            "links_mm2": self.links_mm2,
+            "buffers_mm2": self.buffers_mm2,
+            "crossbars_mm2": self.crossbars_mm2,
+            "total_mm2": self.total_mm2,
+        }
+
+
+class NocAreaModel:
+    """Computes the silicon area of a network from its static descriptor."""
+
+    def __init__(
+        self,
+        wire_model: WireModel = None,
+        buffer_model: BufferAreaModel = None,
+        crossbar_model: CrossbarAreaModel = None,
+    ) -> None:
+        self.wire_model = wire_model or WireModel()
+        self.buffer_model = buffer_model or BufferAreaModel()
+        self.crossbar_model = crossbar_model or CrossbarAreaModel()
+
+    # ------------------------------------------------------------------ #
+    def breakdown_from_descriptor(self, descriptor: TopologyDescriptor) -> AreaBreakdown:
+        """Area breakdown of an explicit router/link inventory."""
+        breakdown = AreaBreakdown()
+        for router in descriptor.routers:
+            breakdown.buffers_mm2 += router.count * self.buffer_model.area_mm2(
+                router.buffer_bits_per_router, uses_sram=router.uses_sram_buffers
+            )
+            breakdown.crossbars_mm2 += router.count * self.crossbar_model.area_mm2(
+                router.ports, router.flit_width_bits
+            )
+        for link in descriptor.links:
+            breakdown.links_mm2 += link.count * self.wire_model.repeater_area_mm2(
+                link.length_mm, link.width_bits
+            )
+        return breakdown
+
+    def breakdown(self, config: SystemConfig) -> AreaBreakdown:
+        """Area breakdown of the network configured in ``config``."""
+        return self.breakdown_from_descriptor(describe_topology(config))
+
+    def total_area_mm2(self, config: SystemConfig) -> float:
+        return self.breakdown(config).total_mm2
+
+
+def link_width_for_area_budget(
+    config: SystemConfig,
+    budget_mm2: float,
+    min_width_bits: int = 8,
+    max_width_bits: int = 512,
+    area_model: NocAreaModel = None,
+) -> int:
+    """Widest link width whose NoC area fits within ``budget_mm2`` (Figure 9).
+
+    The paper's area-normalised study shrinks the mesh and flattened
+    butterfly link width until their NoC area matches NOC-Out's 2.5 mm2.
+    Area decreases monotonically with link width, so a binary search over
+    integer widths suffices.
+    """
+    if budget_mm2 <= 0:
+        raise ValueError("budget must be positive")
+    model = area_model or NocAreaModel()
+
+    def area_at(width: int) -> float:
+        return model.total_area_mm2(config.with_noc(config.noc.with_link_width(width)))
+
+    if area_at(min_width_bits) > budget_mm2:
+        return min_width_bits
+    low, high = min_width_bits, max_width_bits
+    while low < high:
+        mid = (low + high + 1) // 2
+        if area_at(mid) <= budget_mm2:
+            low = mid
+        else:
+            high = mid - 1
+    return low

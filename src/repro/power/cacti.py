@@ -1,0 +1,39 @@
+"""Cache area/power model (CACTI-6.5-style, Section 5.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.technology import TechnologyConfig
+
+
+@dataclass
+class CacheAreaModel:
+    """Area and (leakage-dominated) power of LLC storage.
+
+    The paper reports 3.2 mm2 and roughly 500 mW per megabyte of LLC at
+    32 nm; those constants live in :class:`TechnologyConfig` and this model
+    simply scales them by capacity.
+    """
+
+    technology: TechnologyConfig = None
+
+    def __post_init__(self) -> None:
+        if self.technology is None:
+            self.technology = TechnologyConfig()
+
+    def area_mm2(self, capacity_bytes: int) -> float:
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        megabytes = capacity_bytes / (1024 * 1024)
+        return megabytes * self.technology.cache_area_mm2_per_mb
+
+    def power_w(self, capacity_bytes: int) -> float:
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        megabytes = capacity_bytes / (1024 * 1024)
+        return megabytes * self.technology.cache_power_w_per_mb
+
+    def chip_storage_area_mm2(self, llc_bytes: int, num_cores: int, l1_bytes_per_core: int) -> float:
+        """Total on-die SRAM area: LLC plus all private L1s."""
+        return self.area_mm2(llc_bytes) + num_cores * self.area_mm2(l1_bytes_per_core)

@@ -1,0 +1,104 @@
+"""Activity-based NoC energy / power model (Section 6.4).
+
+Power is computed from the switching activity recorded by the network
+during a timed window: link energy is proportional to flit-millimetres
+travelled, buffer energy to flit writes+reads, and crossbar energy to flit
+traversals weighted by the router radix.  The paper reports 1.3-1.8 W NoC
+power across the three organizations, dominated by the links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config.technology import TechnologyConfig
+from repro.power.orion import RouterEnergyModel
+from repro.power.wire import WireModel
+
+
+@dataclass
+class NocPowerReport:
+    """Energy and average power of the NoC over one measurement window."""
+
+    cycles: int
+    link_energy_j: float
+    buffer_energy_j: float
+    crossbar_energy_j: float
+    arbiter_energy_j: float
+    frequency_ghz: float
+
+    @property
+    def total_energy_j(self) -> float:
+        return (
+            self.link_energy_j
+            + self.buffer_energy_j
+            + self.crossbar_energy_j
+            + self.arbiter_energy_j
+        )
+
+    @property
+    def window_seconds(self) -> float:
+        return self.cycles / (self.frequency_ghz * 1e9) if self.cycles else 0.0
+
+    @property
+    def total_power_w(self) -> float:
+        seconds = self.window_seconds
+        return self.total_energy_j / seconds if seconds else 0.0
+
+    @property
+    def link_power_w(self) -> float:
+        seconds = self.window_seconds
+        return self.link_energy_j / seconds if seconds else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "total_power_w": self.total_power_w,
+            "link_power_w": self.link_power_w,
+            "buffer_power_w": self.buffer_energy_j / self.window_seconds if self.cycles else 0.0,
+            "crossbar_power_w": self.crossbar_energy_j / self.window_seconds if self.cycles else 0.0,
+            "total_energy_j": self.total_energy_j,
+        }
+
+
+class NocEnergyModel:
+    """Turns recorded network activity into energy and power figures."""
+
+    def __init__(
+        self,
+        technology: TechnologyConfig = None,
+        wire_model: WireModel = None,
+        router_model: RouterEnergyModel = None,
+    ) -> None:
+        self.technology = technology or TechnologyConfig()
+        self.wire_model = wire_model or WireModel(self.technology)
+        self.router_model = router_model or RouterEnergyModel()
+
+    def report(self, activity: Dict[str, float], cycles: int) -> NocPowerReport:
+        """Energy/power report for one window of recorded ``activity``.
+
+        ``activity`` is the dictionary produced by
+        :meth:`repro.noc.network.Network.activity`.
+        """
+        if cycles <= 0:
+            raise ValueError("cycles must be positive")
+        width = activity.get("flit_width_bits", 128.0)
+        link_bit_mm = activity.get("link_flit_mm", 0.0) * width
+        link_energy = self.wire_model.energy_joules(link_bit_mm, 1.0)
+        buffer_energy = self.router_model.buffer_energy_joules(
+            activity.get("buffer_flit_writes", 0.0), int(width)
+        )
+        crossbar_energy = self.router_model.crossbar_energy_joules(
+            activity.get("crossbar_flit_ports", 0.0), int(width)
+        )
+        arbiter_energy = self.router_model.arbiter_energy_joules(
+            activity.get("flits_switched", 0.0)
+        )
+        return NocPowerReport(
+            cycles=cycles,
+            link_energy_j=link_energy,
+            buffer_energy_j=buffer_energy,
+            crossbar_energy_j=crossbar_energy,
+            arbiter_energy_j=arbiter_energy,
+            frequency_ghz=self.technology.frequency_ghz,
+        )

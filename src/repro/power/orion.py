@@ -1,0 +1,77 @@
+"""Router buffer / crossbar area and energy models (ORION-2.0-style).
+
+The paper models flip-flop buffers for the mesh and NOC-Out (few buffers
+per port) and SRAM buffers for the flattened butterfly (large buffer
+configurations), and attributes crossbar area to the internal switch
+fabric that grows with the port count.  The constants below reproduce the
+absolute NoC areas reported in Figure 8 for the three organizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Buffer cell area in um^2 per bit.
+FLIP_FLOP_AREA_UM2_PER_BIT = 2.4
+SRAM_AREA_UM2_PER_BIT = 1.7
+
+#: Crossbar area per wire crossing (port-bit x port-bit), in um^2.
+CROSSBAR_AREA_UM2_PER_CROSSING = 0.05
+
+#: Energy constants (picojoules) for activity-based power estimation.
+BUFFER_ENERGY_PJ_PER_BIT_ACCESS = 0.00045
+CROSSBAR_ENERGY_PJ_PER_BIT_PER_PORT = 0.00023
+ARBITER_ENERGY_PJ_PER_FLIT = 0.02
+
+
+@dataclass(frozen=True)
+class BufferAreaModel:
+    """Area of a router's input buffers."""
+
+    flip_flop_area_um2_per_bit: float = FLIP_FLOP_AREA_UM2_PER_BIT
+    sram_area_um2_per_bit: float = SRAM_AREA_UM2_PER_BIT
+
+    def area_mm2(self, buffer_bits: float, uses_sram: bool = False) -> float:
+        """Silicon area of ``buffer_bits`` of packet buffering."""
+        if buffer_bits < 0:
+            raise ValueError("buffer_bits must be non-negative")
+        per_bit = self.sram_area_um2_per_bit if uses_sram else self.flip_flop_area_um2_per_bit
+        return buffer_bits * per_bit * 1e-6
+
+
+@dataclass(frozen=True)
+class CrossbarAreaModel:
+    """Area of a router's internal switch fabric."""
+
+    area_um2_per_crossing: float = CROSSBAR_AREA_UM2_PER_CROSSING
+
+    def area_mm2(self, ports: int, flit_width_bits: int) -> float:
+        """Area of a ``ports x ports`` crossbar of ``flit_width_bits`` wires."""
+        if ports < 0 or flit_width_bits < 0:
+            raise ValueError("ports and width must be non-negative")
+        crossings = (ports * flit_width_bits) ** 2
+        return crossings * self.area_um2_per_crossing * 1e-6
+
+
+@dataclass(frozen=True)
+class RouterEnergyModel:
+    """Activity-based energy of buffers, crossbars and arbiters."""
+
+    buffer_pj_per_bit_access: float = BUFFER_ENERGY_PJ_PER_BIT_ACCESS
+    crossbar_pj_per_bit_per_port: float = CROSSBAR_ENERGY_PJ_PER_BIT_PER_PORT
+    arbiter_pj_per_flit: float = ARBITER_ENERGY_PJ_PER_FLIT
+
+    def buffer_energy_joules(self, flit_accesses: float, flit_width_bits: int) -> float:
+        """Energy of buffer writes + reads (two accesses per buffered flit)."""
+        bits = 2.0 * flit_accesses * flit_width_bits
+        return bits * self.buffer_pj_per_bit_access * 1e-12
+
+    def crossbar_energy_joules(
+        self, flit_port_traversals: float, flit_width_bits: int
+    ) -> float:
+        """Energy of switch traversals, weighted by the router radix."""
+        bits = flit_port_traversals * flit_width_bits
+        return bits * self.crossbar_pj_per_bit_per_port * 1e-12
+
+    def arbiter_energy_joules(self, flits_switched: float) -> float:
+        return flits_switched * self.arbiter_pj_per_flit * 1e-12

@@ -1,0 +1,14 @@
+"""Discrete-event, cycle-accurate simulation kernel.
+
+The kernel is deliberately small: a :class:`~repro.sim.kernel.Simulator`
+owns the global cycle counter and an event heap of callbacks, and
+:class:`~repro.sim.component.Component` provides the wake/tick idiom used by
+routers, caches, cores and memory controllers.  Statistics are collected in
+:class:`~repro.sim.stats.StatGroup` trees attached to each component.
+"""
+
+from repro.sim.kernel import Simulator
+from repro.sim.component import Component
+from repro.sim.stats import Counter, Histogram, StatGroup
+
+__all__ = ["Simulator", "Component", "Counter", "Histogram", "StatGroup"]

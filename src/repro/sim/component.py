@@ -1,0 +1,52 @@
+"""Base class for simulated hardware components."""
+
+from __future__ import annotations
+
+from repro.sim.kernel import Simulator
+from repro.sim.stats import StatGroup
+
+
+class Component:
+    """A named hardware block attached to a :class:`Simulator`.
+
+    Components use the *wake/tick* idiom: anything that hands work to a
+    component (a link delivering a packet, a core issuing a request) calls
+    :meth:`wake`, which schedules a single :meth:`_tick` callback for the
+    requested cycle.  Duplicate wake-ups for the same cycle are coalesced so
+    that a component ticks at most once per cycle.
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.stats = StatGroup(name)
+        self._next_wake: int = -1
+
+    # ------------------------------------------------------------------ #
+    def wake(self, delay: int = 0) -> None:
+        """Ensure :meth:`_tick` runs ``delay`` cycles from now (coalesced)."""
+        target = self.sim.cycle + delay
+        if self._next_wake == target:
+            return
+        # Only suppress if an earlier-or-equal wake is already pending.
+        if self._next_wake >= self.sim.cycle and self._next_wake <= target:
+            return
+        self._next_wake = target
+        self.sim.schedule_at(self._run_tick, target)
+
+    def _run_tick(self) -> None:
+        if self._next_wake == self.sim.cycle:
+            self._next_wake = -1
+        self._tick()
+
+    def _tick(self) -> None:
+        """Do one cycle of work.  Subclasses override."""
+        raise NotImplementedError
+
+    @property
+    def now(self) -> int:
+        """Current simulation cycle."""
+        return self.sim.cycle
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,163 @@
+"""Statistics primitives: counters, histograms and hierarchical groups."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Union
+
+
+class Counter:
+    """A monotonically updated scalar statistic."""
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self.value: float = 0
+
+    def add(self, amount: Union[int, float] = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Streaming histogram tracking count/sum/min/max and full samples.
+
+    Sample retention can be disabled for very hot paths; mean and extrema
+    are always available.
+    """
+
+    def __init__(self, name: str, description: str = "", keep_samples: bool = True) -> None:
+        self.name = name
+        self.description = description
+        self.keep_samples = keep_samples
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: List[float] = []
+
+    def add(self, value: Union[int, float]) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if self.keep_samples:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Return the ``p``-th percentile (0-100) of retained samples."""
+        if not self._samples:
+            return 0.0
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        ordered = sorted(self._samples)
+        rank = (p / 100.0) * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return ordered[low]
+        frac = rank - low
+        return ordered[low] * (1 - frac) + ordered[high] * frac
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self._samples.clear()
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.2f})"
+
+
+class StatGroup:
+    """A named tree of counters, histograms and nested groups."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._children: Dict[str, "StatGroup"] = {}
+
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str, description: str = "") -> Counter:
+        """Get or create a counter."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name, description)
+        return self._counters[name]
+
+    def histogram(self, name: str, description: str = "", keep_samples: bool = True) -> Histogram:
+        """Get or create a histogram."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name, description, keep_samples)
+        return self._histograms[name]
+
+    def group(self, name: str) -> "StatGroup":
+        """Get or create a nested group."""
+        if name not in self._children:
+            self._children[name] = StatGroup(name)
+        return self._children[name]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def counters(self) -> Dict[str, Counter]:
+        return dict(self._counters)
+
+    @property
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._histograms)
+
+    @property
+    def children(self) -> Dict[str, "StatGroup"]:
+        return dict(self._children)
+
+    def reset(self) -> None:
+        """Reset every statistic in this group and its descendants."""
+        for counter in self._counters.values():
+            counter.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()
+        for child in self._children.values():
+            child.reset()
+
+    def to_dict(self) -> dict:
+        """Flatten the group into nested plain dictionaries."""
+        result: dict = {}
+        for name, counter in self._counters.items():
+            result[name] = counter.value
+        for name, histogram in self._histograms.items():
+            result[name] = {
+                "count": histogram.count,
+                "mean": histogram.mean,
+                "min": histogram.min,
+                "max": histogram.max,
+            }
+        for name, child in self._children.items():
+            result[name] = child.to_dict()
+        return result
+
+    def flat_items(self, prefix: str = "") -> Iterable:
+        """Yield ``(dotted_name, value)`` for every counter/histogram mean."""
+        for name, counter in self._counters.items():
+            yield f"{prefix}{name}", counter.value
+        for name, histogram in self._histograms.items():
+            yield f"{prefix}{name}.mean", histogram.mean
+            yield f"{prefix}{name}.count", histogram.count
+        for name, child in self._children.items():
+            yield from child.flat_items(prefix=f"{prefix}{name}.")
+
+    def __repr__(self) -> str:
+        return (
+            f"StatGroup({self.name}, counters={len(self._counters)}, "
+            f"histograms={len(self._histograms)}, children={len(self._children)})"
+        )

@@ -1,0 +1,78 @@
+"""Shared fixtures for the test suite.
+
+The fixtures favour small, fast configurations (16 cores, small footprints,
+short windows) so the full suite stays quick while still exercising every
+subsystem end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import presets
+from repro.config.noc import NocConfig, Topology
+from repro.config.system import SystemConfig
+from repro.config.workload import WorkloadConfig
+from repro.sim.kernel import Simulator
+
+KB = 1024
+MB = 1024 * KB
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator with a fixed seed."""
+    return Simulator(seed=7)
+
+
+@pytest.fixture
+def small_workload() -> WorkloadConfig:
+    """A fast synthetic workload for integration tests."""
+    return WorkloadConfig(
+        name="TestWorkload",
+        instruction_footprint_bytes=256 * KB,
+        hot_instruction_fraction=0.5,
+        dataset_bytes=8 * MB,
+        data_reuse_fraction=0.9,
+        shared_fraction=0.02,
+        shared_region_bytes=16 * KB,
+        write_fraction=0.3,
+        loads_per_instruction=0.3,
+        mean_block_instructions=12.0,
+        jump_probability=0.25,
+        issue_width=3,
+        mlp=2,
+        max_cores=64,
+    )
+
+
+def small_system(topology: Topology, num_cores: int = 16, **noc_kwargs) -> SystemConfig:
+    """A 16-core chip configuration suitable for quick end-to-end tests."""
+    noc = NocConfig(topology=topology, **noc_kwargs)
+    return SystemConfig(num_cores=num_cores, noc=noc, seed=3)
+
+
+@pytest.fixture
+def mesh_config(small_workload) -> SystemConfig:
+    return small_system(Topology.MESH).with_workload(small_workload)
+
+
+@pytest.fixture
+def fbfly_config(small_workload) -> SystemConfig:
+    return small_system(Topology.FLATTENED_BUTTERFLY).with_workload(small_workload)
+
+
+@pytest.fixture
+def nocout_config(small_workload) -> SystemConfig:
+    return small_system(Topology.NOC_OUT).with_workload(small_workload)
+
+
+@pytest.fixture
+def ideal_config(small_workload) -> SystemConfig:
+    return small_system(Topology.IDEAL).with_workload(small_workload)
+
+
+@pytest.fixture
+def paper_workloads():
+    """The six workload presets of the paper."""
+    return presets.all_workloads()

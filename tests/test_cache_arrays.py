@@ -1,0 +1,265 @@
+"""Unit tests for address mapping, cache arrays, MSHRs and L1 caches."""
+
+import pytest
+
+from repro.cache.address import AddressMapper
+from repro.cache.l1 import L1Cache
+from repro.cache.llc import LLCBank
+from repro.cache.mshr import MshrFile
+from repro.cache.set_assoc import CacheLineState, SetAssociativeCache
+from repro.config.cache import CacheConfig
+
+
+class TestAddressMapper:
+    def test_block_alignment(self):
+        mapper = AddressMapper(block_size=64)
+        assert mapper.block_address(0x1234) == 0x1200
+        assert mapper.block_address(0x1200) == 0x1200
+
+    def test_block_number(self):
+        assert AddressMapper(64).block_number(0x1000) == 0x40
+
+    def test_home_bank_interleaves_consecutive_blocks(self):
+        mapper = AddressMapper(64, num_llc_banks=16)
+        homes = [mapper.home_bank(block * 64) for block in range(16)]
+        assert homes == list(range(16))
+
+    def test_home_bank_is_stable_within_a_block(self):
+        mapper = AddressMapper(64, num_llc_banks=16)
+        assert mapper.home_bank(0x1000) == mapper.home_bank(0x103F)
+
+    def test_memory_channel_interleaves_pages(self):
+        mapper = AddressMapper(64, num_memory_channels=4)
+        assert mapper.memory_channel(0x0000) == 0
+        assert mapper.memory_channel(0x1000) == 1
+        assert mapper.memory_channel(0x4000) == 0
+
+    def test_same_block(self):
+        mapper = AddressMapper(64)
+        assert mapper.same_block(0x100, 0x13F)
+        assert not mapper.same_block(0x100, 0x140)
+
+    def test_invalid_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            AddressMapper(block_size=48)
+
+
+def small_cache(size=1024, assoc=2, block=64):
+    return SetAssociativeCache(CacheConfig(size, assoc, block), name="test")
+
+
+class TestSetAssociativeCache:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.lookup(0x1000) is None
+        cache.insert(0x1000, CacheLineState.SHARED)
+        assert cache.lookup(0x1000) == CacheLineState.SHARED
+
+    def test_capacity_is_bounded(self):
+        cache = small_cache()
+        for i in range(100):
+            cache.insert(i * 64)
+        assert cache.occupancy <= cache.capacity_blocks
+
+    def test_lru_eviction_order(self):
+        cache = small_cache(size=2 * 64, assoc=2, block=64)  # one set, two ways
+        cache.insert(0 * 64)
+        cache.insert(1 * 64)
+        cache.lookup(0)  # touch block 0, making block 1 the LRU victim
+        victim = cache.insert(2 * 64)
+        assert victim is not None
+        assert victim[0] == 1 * 64
+
+    def test_insert_existing_updates_state_without_eviction(self):
+        cache = small_cache()
+        cache.insert(0x40, CacheLineState.SHARED)
+        victim = cache.insert(0x40, CacheLineState.MODIFIED)
+        assert victim is None
+        assert cache.probe(0x40) == CacheLineState.MODIFIED
+
+    def test_victim_address_is_reconstructed_exactly(self):
+        cache = SetAssociativeCache(CacheConfig(2 * 64, 2, 64), "banked", index_divisor=16)
+        base = 0x1_0000_0000
+        addresses = [base + i * 64 * 16 for i in range(3)]  # same bank, same set
+        cache.insert(addresses[0])
+        cache.insert(addresses[1])
+        victim = cache.insert(addresses[2])
+        assert victim is not None
+        assert victim[0] == addresses[0]
+
+    def test_index_divisor_spreads_interleaved_blocks(self):
+        # Blocks striped across 16 banks: bank 0 sees blocks 0, 16, 32, ...
+        config = CacheConfig(64 * 64, 2, 64)  # 32 sets
+        aliased = SetAssociativeCache(config, "aliased")
+        spread = SetAssociativeCache(config, "spread", index_divisor=16)
+        for i in range(64):
+            addr = i * 16 * 64
+            aliased.insert(addr)
+            spread.insert(addr)
+        assert spread.occupancy > aliased.occupancy
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.insert(0x80, CacheLineState.MODIFIED)
+        assert cache.invalidate(0x80) == CacheLineState.MODIFIED
+        assert cache.probe(0x80) is None
+        assert cache.invalidate(0x80) is None
+
+    def test_update_state(self):
+        cache = small_cache()
+        cache.insert(0x80, CacheLineState.SHARED)
+        cache.update_state(0x80, CacheLineState.MODIFIED)
+        assert cache.probe(0x80) == CacheLineState.MODIFIED
+        cache.update_state(0x80, CacheLineState.INVALID)
+        assert cache.probe(0x80) is None
+
+    def test_cannot_insert_invalid_state(self):
+        with pytest.raises(ValueError):
+            small_cache().insert(0x80, CacheLineState.INVALID)
+
+    def test_statistics(self):
+        cache = small_cache()
+        cache.lookup(0)
+        cache.insert(0)
+        cache.lookup(0)
+        assert cache.misses == 1
+        assert cache.hits == 1
+        assert 0 < cache.miss_rate < 1
+
+    def test_resident_blocks_roundtrip(self):
+        cache = small_cache()
+        cache.insert(0x100, CacheLineState.SHARED)
+        cache.insert(0x2000, CacheLineState.MODIFIED)
+        resident = cache.resident_blocks()
+        assert resident[0x100] == CacheLineState.SHARED
+        assert resident[0x2000] == CacheLineState.MODIFIED
+
+
+class TestMshrFile:
+    def test_allocate_and_release(self):
+        mshr = MshrFile(4)
+        entry = mshr.allocate(0x100, is_instruction=True, wants_exclusive=False, issue_cycle=5)
+        assert mshr.lookup(0x100) is entry
+        assert mshr.outstanding == 1
+        released = mshr.release(0x100)
+        assert released is entry
+        assert mshr.outstanding == 0
+
+    def test_merge_accumulates(self):
+        mshr = MshrFile(4)
+        mshr.allocate(0x100, False, False, 0)
+        entry = mshr.merge(0x100, wants_exclusive=True)
+        assert entry.merged_accesses == 2
+        assert entry.wants_exclusive
+
+    def test_duplicate_allocation_rejected(self):
+        mshr = MshrFile(4)
+        mshr.allocate(0x100, False, False, 0)
+        with pytest.raises(RuntimeError):
+            mshr.allocate(0x100, False, False, 0)
+
+    def test_full_file_rejects_new_allocations(self):
+        mshr = MshrFile(1)
+        mshr.allocate(0x100, False, False, 0)
+        assert mshr.full
+        with pytest.raises(RuntimeError):
+            mshr.allocate(0x200, False, False, 0)
+
+    def test_release_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            MshrFile(2).release(0x500)
+
+
+def make_l1(is_instruction=False):
+    return L1Cache(CacheConfig(32 * 1024, 4, 64), "l1", is_instruction=is_instruction)
+
+
+class TestL1Cache:
+    def test_read_miss_then_fill_then_hit(self):
+        l1 = make_l1()
+        assert not l1.read(0x1000)
+        l1.fill(0x1000, writable=False)
+        assert l1.read(0x1000)
+        assert l1.read_misses == 1
+        assert l1.read_hits == 1
+
+    def test_write_to_shared_line_needs_upgrade(self):
+        l1 = make_l1()
+        l1.fill(0x1000, writable=False)
+        hit, needs_upgrade = l1.write(0x1000)
+        assert not hit
+        assert needs_upgrade
+        assert l1.upgrade_misses == 1
+
+    def test_write_to_writable_line_hits(self):
+        l1 = make_l1()
+        l1.fill(0x1000, writable=True)
+        hit, needs_upgrade = l1.write(0x1000)
+        assert hit
+        assert not needs_upgrade
+
+    def test_instruction_cache_rejects_writes(self):
+        with pytest.raises(RuntimeError):
+            make_l1(is_instruction=True).write(0x1000)
+
+    def test_instruction_fills_are_never_writable(self):
+        l1 = make_l1(is_instruction=True)
+        l1.fill(0x1000, writable=True)
+        assert l1.array.probe(0x1000) == CacheLineState.SHARED
+
+    def test_snoop_invalidate(self):
+        l1 = make_l1()
+        l1.fill(0x1000, writable=True)
+        previous = l1.snoop_invalidate(0x1000)
+        assert previous == CacheLineState.MODIFIED
+        assert not l1.read(0x1000)
+        assert l1.snoop_invalidations == 1
+
+    def test_snoop_downgrade(self):
+        l1 = make_l1()
+        l1.fill(0x1000, writable=True)
+        l1.snoop_downgrade(0x1000)
+        assert l1.array.probe(0x1000) == CacheLineState.SHARED
+        hit, needs_upgrade = l1.write(0x1000)
+        assert not hit and needs_upgrade
+
+    def test_snoop_to_absent_line_is_harmless(self):
+        l1 = make_l1()
+        assert l1.snoop_invalidate(0x4000) is None
+        assert l1.snoop_downgrade(0x4000) is None
+
+    def test_miss_rate(self):
+        l1 = make_l1()
+        l1.read(0x0)
+        l1.fill(0x0, writable=False)
+        l1.read(0x0)
+        assert l1.miss_rate == pytest.approx(0.5)
+
+
+class TestLLCBank:
+    def test_fill_then_contains(self):
+        bank = LLCBank(CacheConfig(512 * 1024, 16, 64), "bank")
+        assert not bank.contains(0x1000)
+        bank.fill(0x1000)
+        assert bank.contains(0x1000)
+        assert bank.hits == 1
+        assert bank.misses == 1
+
+    def test_bank_occupancy_serializes_accesses(self):
+        bank = LLCBank(CacheConfig(512 * 1024, 16, 64, hit_latency=8), "bank")
+        first_done = bank.schedule_access(now=0)
+        second_done = bank.schedule_access(now=0)
+        assert first_done == 8
+        assert second_done == 16
+        assert bank.busy_conflicts == 1
+
+    def test_idle_bank_has_no_conflicts(self):
+        bank = LLCBank(CacheConfig(512 * 1024, 16, 64, hit_latency=8), "bank")
+        bank.schedule_access(now=0)
+        bank.schedule_access(now=100)
+        assert bank.busy_conflicts == 0
+
+    def test_writeback_installs_block(self):
+        bank = LLCBank(CacheConfig(512 * 1024, 16, 64), "bank")
+        bank.writeback(0x2000)
+        assert bank.probe(0x2000)

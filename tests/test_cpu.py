@@ -1,0 +1,208 @@
+"""Unit tests for the core timing model and core node protocol glue."""
+
+import pytest
+
+from repro.cache.coherence import (
+    CoherenceRequestType,
+    Response,
+    ResponseType,
+    SnoopRequest,
+    SnoopType,
+)
+from repro.config.system import SystemConfig
+from repro.config.workload import WorkloadConfig
+from repro.cpu.core_node import CoreNode
+from repro.noc.message import MessageClass
+from repro.sim.kernel import Simulator
+from repro.workloads.base import FetchBlock, WorkloadStream
+
+
+class ScriptedStream(WorkloadStream):
+    """A workload stream that replays a fixed list of fetch blocks."""
+
+    def __init__(self, blocks):
+        self.blocks = list(blocks)
+        self.index = 0
+
+    def next_block(self):
+        block = self.blocks[self.index % len(self.blocks)]
+        self.index += 1
+        return block
+
+    def functional_references(self, count):
+        return iter(())
+
+
+HOME = 40
+
+
+def build_core(blocks, mlp=2):
+    sim = Simulator(seed=0)
+    sent = []
+    workload = WorkloadConfig(name="scripted", mlp=mlp, issue_width=3)
+    config = SystemConfig(num_cores=16, seed=0)
+    node = CoreNode(
+        sim,
+        "core0",
+        core_id=0,
+        node_id=0,
+        config=config,
+        workload=workload,
+        stream=ScriptedStream(blocks),
+        send=lambda dst, cls, payload, data: sent.append((dst, cls, payload, data)),
+        home_node_for=lambda addr: HOME,
+    )
+    return sim, node, sent
+
+
+def data_response(addr, is_instruction=False, exclusive=False):
+    return Response(
+        ResponseType.DATA,
+        addr,
+        target_core=0,
+        is_instruction=is_instruction,
+        grants_exclusive=exclusive,
+    )
+
+
+def requests_of(sent, req_type):
+    return [p for _d, _c, p, _dd in sent if getattr(p, "req_type", None) == req_type]
+
+
+class TestCoreModel:
+    def test_ifetch_miss_stalls_until_fill(self):
+        block = FetchBlock(iaddr=0x1000, n_instructions=9, data_accesses=[])
+        sim, node, sent = build_core([block])
+        node.core.start()
+        sim.run(20)
+        # The core is stalled: one GETS for the instruction line, nothing committed.
+        gets = requests_of(sent, CoherenceRequestType.GETS)
+        assert len(gets) == 1
+        assert gets[0].is_instruction
+        assert node.core.instructions_committed.value == 0
+        node.handle_response(data_response(0x1000, is_instruction=True))
+        sim.run(20)
+        assert node.core.instructions_committed.value > 0
+
+    def test_warm_l1i_lets_core_run_without_network(self):
+        block = FetchBlock(iaddr=0x1000, n_instructions=9, data_accesses=[])
+        sim, node, sent = build_core([block])
+        node.warm_instruction(0x1000)
+        node.core.start()
+        sim.run(50)
+        assert node.core.instructions_committed.value > 50
+        assert not sent
+
+    def test_committed_instructions_follow_issue_width(self):
+        block = FetchBlock(iaddr=0x1000, n_instructions=9, data_accesses=[])
+        sim, node, _ = build_core([block])
+        node.warm_instruction(0x1000)
+        node.core.start()
+        sim.run(100)
+        # 9 instructions per block at 3-wide issue = 3 cycles per block.
+        assert node.core.instructions_committed.value == pytest.approx(300, rel=0.1)
+
+    def test_data_miss_overlap_limited_by_mlp(self):
+        accesses = [(0x20000 + i * 64, False) for i in range(4)]
+        block = FetchBlock(iaddr=0x1000, n_instructions=12, data_accesses=accesses)
+        sim, node, sent = build_core([block], mlp=2)
+        node.warm_instruction(0x1000)
+        node.core.start()
+        sim.run(5)
+        assert node.core.outstanding_data_misses == 2  # capped by MLP
+        assert len(requests_of(sent, CoherenceRequestType.GETS)) == 2
+        node.handle_response(data_response(0x20000))
+        sim.run(1)
+        assert len(requests_of(sent, CoherenceRequestType.GETS)) == 3
+
+    def test_block_completes_after_all_fills(self):
+        accesses = [(0x20000, False)]
+        block = FetchBlock(iaddr=0x1000, n_instructions=6, data_accesses=accesses)
+        sim, node, _ = build_core([block])
+        node.warm_instruction(0x1000)
+        node.core.start()
+        sim.run(10)
+        committed_before = node.core.instructions_committed.value
+        node.handle_response(data_response(0x20000))
+        sim.run(10)
+        assert node.core.instructions_committed.value > committed_before
+
+    def test_inactive_core_does_nothing(self):
+        block = FetchBlock(iaddr=0x1000, n_instructions=6, data_accesses=[])
+        sim, node, sent = build_core([block])
+        sim.run(50)
+        assert node.core.instructions_committed.value == 0
+        assert not sent
+
+
+class TestCoreNodeProtocol:
+    def test_store_miss_issues_getx(self):
+        block = FetchBlock(iaddr=0x1000, n_instructions=6, data_accesses=[(0x30000, True)])
+        sim, node, sent = build_core([block])
+        node.warm_instruction(0x1000)
+        node.core.start()
+        sim.run(5)
+        assert len(requests_of(sent, CoherenceRequestType.GETX)) == 1
+
+    def test_mshr_merges_requests_to_same_line(self):
+        accesses = [(0x30000, False), (0x30010, False)]
+        block = FetchBlock(iaddr=0x1000, n_instructions=6, data_accesses=accesses)
+        sim, node, sent = build_core([block])
+        node.warm_instruction(0x1000)
+        node.core.start()
+        sim.run(5)
+        assert len(requests_of(sent, CoherenceRequestType.GETS)) == 1
+
+    def test_requests_target_home_node(self):
+        block = FetchBlock(iaddr=0x1000, n_instructions=6, data_accesses=[])
+        sim, node, sent = build_core([block])
+        node.core.start()
+        sim.run(5)
+        assert sent[0][0] == HOME
+
+    def test_snoop_invalidate_acks_and_invalidates(self):
+        block = FetchBlock(iaddr=0x1000, n_instructions=6, data_accesses=[])
+        sim, node, sent = build_core([block])
+        node.warm_data(0x40000, writable=False)
+        node.handle_snoop(SnoopRequest(SnoopType.INVALIDATE, 0x40000, home_node=HOME, target_core=0))
+        acks = [p for _d, _c, p, _dd in sent if getattr(p, "resp_type", None) == ResponseType.INV_ACK]
+        assert len(acks) == 1
+        assert not node.l1d.read(0x40000)
+
+    def test_snoop_forward_returns_data_and_downgrades(self):
+        block = FetchBlock(iaddr=0x1000, n_instructions=6, data_accesses=[])
+        sim, node, sent = build_core([block])
+        node.warm_data(0x50000, writable=True)
+        node.handle_snoop(SnoopRequest(SnoopType.FORWARD, 0x50000, home_node=HOME, target_core=0))
+        fwd = [p for _d, _c, p, _dd in sent if getattr(p, "resp_type", None) == ResponseType.FWD_DATA]
+        assert len(fwd) == 1
+        hit, needs_upgrade = node.l1d.write(0x50000)
+        assert not hit and needs_upgrade  # downgraded to shared
+
+    def test_dirty_victim_generates_writeback(self):
+        sim, node, sent = build_core([FetchBlock(iaddr=0x1000, n_instructions=6)])
+        l1d_blocks = node.l1d.config.num_blocks
+        # Fill one set completely with modified lines, then fill one more.
+        num_sets = node.l1d.config.num_sets
+        for way in range(node.l1d.config.associativity + 1):
+            addr = (way * num_sets) * 64
+            node.handle_response(data_response(addr, exclusive=True))
+        putm = requests_of(sent, CoherenceRequestType.PUTM)
+        assert len(putm) == 1
+        assert l1d_blocks > 0
+
+    def test_exclusive_fill_allows_store_hit(self):
+        sim, node, _ = build_core([FetchBlock(iaddr=0x1000, n_instructions=6)])
+        node.handle_response(data_response(0x60000, exclusive=True))
+        hit, _ = node.l1d.write(0x60000)
+        assert hit
+
+    def test_reset_statistics_clears_counters(self):
+        block = FetchBlock(iaddr=0x1000, n_instructions=6, data_accesses=[])
+        sim, node, _ = build_core([block])
+        node.warm_instruction(0x1000)
+        node.core.start()
+        sim.run(20)
+        node.reset_statistics()
+        assert node.core.instructions_committed.value == 0
+        assert node.l1i.accesses == 0

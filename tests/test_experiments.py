@@ -1,0 +1,89 @@
+"""Tests for the experiment harnesses (run with tiny windows to stay fast)."""
+
+import pytest
+
+from repro.config import presets
+from repro.config.noc import Topology
+from repro.experiments import ablations, fig4_snoops, fig7_performance, fig8_area, fig9_area_normalized, table1
+from repro.experiments.harness import RunSettings, run_single, system_for
+
+TINY = RunSettings(warmup_references=500, detailed_warmup_cycles=200, measure_cycles=800)
+
+
+class TestHarness:
+    def test_system_for_applies_topology_and_workload(self):
+        config = system_for(Topology.NOC_OUT, presets.workload("Web Search"), num_cores=64)
+        assert config.noc.topology == Topology.NOC_OUT
+        assert config.workload.name == "Web Search"
+
+    def test_system_for_applies_noc_overrides(self):
+        config = system_for(
+            Topology.NOC_OUT,
+            presets.workload("Web Search"),
+            noc_overrides={"llc_banks_per_tile": 4},
+        )
+        assert config.noc.llc_banks_per_tile == 4
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(AttributeError):
+            system_for(
+                Topology.MESH, presets.workload("Web Search"), noc_overrides={"bogus": 1}
+            )
+
+    def test_run_settings_scaling(self):
+        scaled = TINY.scaled(2.0)
+        assert scaled.measure_cycles == 1600
+        assert scaled.warmup_references == TINY.warmup_references
+
+    def test_run_settings_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "0.5")
+        settings = RunSettings.from_env(RunSettings(measure_cycles=6000))
+        assert settings.measure_cycles == 3000
+
+    def test_run_single_produces_results(self):
+        result = run_single(
+            Topology.MESH, presets.workload("Web Search"), num_cores=16, settings=TINY
+        )
+        assert result.total_instructions > 0
+        assert result.topology == "mesh"
+
+
+class TestFigureHarnesses:
+    def test_table1_contains_all_rows(self):
+        parameters = table1.run_table1()
+        rendered = table1.render_table1(parameters).render()
+        assert "NOC-Out" in rendered
+        assert len(parameters) == 7
+
+    def test_figure8_reports_three_topologies(self):
+        breakdowns = fig8_area.run_figure8()
+        assert set(breakdowns) == {"mesh", "flattened_butterfly", "noc_out"}
+        rendered = fig8_area.render_figure8(breakdowns).render()
+        assert "mesh" in rendered
+
+    def test_figure9_link_width_selection(self):
+        budget, widths = fig9_area_normalized.area_budget_link_widths()
+        assert budget > 0
+        assert widths[Topology.FLATTENED_BUTTERFLY] < widths[Topology.MESH] <= 128
+
+    def test_figure7_single_workload_runs(self):
+        normalised = fig7_performance.run_figure7(
+            workload_names=["Web Search"], num_cores=16, settings=TINY
+        )
+        assert "Web Search" in normalised and "GMean" in normalised
+        row = normalised["Web Search"]
+        assert row["mesh"] == pytest.approx(1.0)
+        assert row["noc_out"] > 0
+        rendered = fig7_performance.render_figure7(normalised).render()
+        assert "Web Search" in rendered
+
+    def test_figure4_reports_percentages(self):
+        rates = fig4_snoops.run_figure4(
+            workload_names=["Web Search"], num_cores=16, settings=TINY
+        )
+        assert 0.0 <= rates["Web Search"] <= 100.0
+        assert "Mean" in rates
+
+    def test_ablation_render(self):
+        table = ablations.render_ablation({"a": 1.0, "b": 1.1}, "t", "variant")
+        assert "variant" in table.render()

@@ -1,0 +1,76 @@
+"""Unit tests for the round-robin and static-priority arbiters."""
+
+from repro.noc.arbiter import ArbitrationCandidate, RoundRobinArbiter, StaticPriorityArbiter
+from repro.noc.buffer import VirtualChannelBuffer
+from repro.noc.message import Message, MessageClass, Packet
+
+
+def candidate(in_port, vc_index, msg_class=MessageClass.REQUEST, is_local=False):
+    packet = Packet(Message(src=0, dst=1, msg_class=msg_class, size_bits=128), 128)
+    return ArbitrationCandidate(
+        in_port=in_port,
+        vc_index=vc_index,
+        buffer=VirtualChannelBuffer(5),
+        packet=packet,
+        is_local=is_local,
+    )
+
+
+class TestRoundRobin:
+    def test_empty_returns_none(self):
+        assert RoundRobinArbiter().choose([]) is None
+
+    def test_single_candidate_wins(self):
+        arbiter = RoundRobinArbiter()
+        only = candidate(0, 0)
+        assert arbiter.choose([only]) is only
+
+    def test_rotates_across_calls(self):
+        arbiter = RoundRobinArbiter()
+        a, b, c = candidate(0, 0), candidate(1, 0), candidate(2, 0)
+        winners = [arbiter.choose([a, b, c]) for _ in range(4)]
+        assert [w.in_port for w in winners] == [0, 1, 2, 0]
+
+    def test_skips_missing_candidates(self):
+        arbiter = RoundRobinArbiter()
+        a, c = candidate(0, 0), candidate(2, 0)
+        assert arbiter.choose([a, c]) is a
+        assert arbiter.choose([a, c]) is c
+        assert arbiter.choose([a, c]) is a
+
+
+class TestStaticPriority:
+    def test_empty_returns_none(self):
+        assert StaticPriorityArbiter().choose([]) is None
+
+    def test_responses_beat_requests(self):
+        request = candidate(0, 0, MessageClass.REQUEST)
+        response = candidate(1, 1, MessageClass.RESPONSE)
+        assert StaticPriorityArbiter().choose([request, response]) is response
+
+    def test_network_beats_local_within_class(self):
+        local = candidate(0, 0, MessageClass.REQUEST, is_local=True)
+        network = candidate(1, 0, MessageClass.REQUEST, is_local=False)
+        assert StaticPriorityArbiter().choose([local, network]) is network
+
+    def test_paper_priority_order(self):
+        # Highest to lowest: network responses, local responses,
+        # network requests, local requests (Section 4.1).
+        network_response = candidate(1, 1, MessageClass.RESPONSE, is_local=False)
+        local_response = candidate(0, 1, MessageClass.RESPONSE, is_local=True)
+        network_request = candidate(1, 0, MessageClass.REQUEST, is_local=False)
+        local_request = candidate(0, 0, MessageClass.REQUEST, is_local=True)
+        pool = [local_request, network_request, local_response, network_response]
+        arbiter = StaticPriorityArbiter()
+        assert arbiter.choose(pool) is network_response
+        pool.remove(network_response)
+        assert arbiter.choose(pool) is local_response
+        pool.remove(local_response)
+        assert arbiter.choose(pool) is network_request
+        pool.remove(network_request)
+        assert arbiter.choose(pool) is local_request
+
+    def test_snoops_share_request_priority(self):
+        snoop = candidate(1, 0, MessageClass.SNOOP)
+        response = candidate(0, 1, MessageClass.RESPONSE)
+        assert StaticPriorityArbiter().choose([snoop, response]) is response

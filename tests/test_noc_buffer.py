@@ -1,0 +1,107 @@
+"""Unit tests for virtual-channel buffers and input ports."""
+
+import pytest
+
+from repro.noc.buffer import InputPort, VirtualChannelBuffer, unbounded_input_port
+from repro.noc.message import Message, MessageClass, Packet
+
+
+def make_packet(flits=1, msg_class=MessageClass.REQUEST):
+    return Packet(
+        Message(src=0, dst=1, msg_class=msg_class, size_bits=flits * 128), link_width_bits=128
+    )
+
+
+class TestVirtualChannelBuffer:
+    def test_reserve_then_push_then_pop(self):
+        vc = VirtualChannelBuffer(capacity_flits=5)
+        packet = make_packet(3)
+        assert vc.can_reserve(3)
+        vc.reserve(3)
+        vc.push(packet)
+        assert vc.occupancy_flits == 3
+        assert vc.peek() is packet
+        assert vc.pop() is packet
+        assert vc.occupancy_flits == 0
+        assert vc.reserved_flits == 0
+
+    def test_cannot_overflow_capacity(self):
+        vc = VirtualChannelBuffer(capacity_flits=5)
+        vc.reserve(4)
+        assert not vc.can_reserve(2)
+        with pytest.raises(RuntimeError):
+            vc.reserve(2)
+
+    def test_oversized_packet_allowed_only_when_empty(self):
+        vc = VirtualChannelBuffer(capacity_flits=3)
+        assert vc.can_reserve(5)  # empty VC admits an oversized packet
+        vc.reserve(5)
+        assert not vc.can_reserve(1)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(RuntimeError):
+            VirtualChannelBuffer(3).pop()
+
+    def test_fifo_order(self):
+        vc = VirtualChannelBuffer(capacity_flits=10)
+        first, second = make_packet(1), make_packet(1)
+        vc.reserve(1)
+        vc.push(first)
+        vc.reserve(1)
+        vc.push(second)
+        assert vc.pop() is first
+        assert vc.pop() is second
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualChannelBuffer(0)
+
+    def test_reserve_accounts_before_arrival(self):
+        vc = VirtualChannelBuffer(capacity_flits=5)
+        vc.reserve(5)
+        assert vc.empty  # reserved but nothing buffered yet
+        assert not vc.can_reserve(1)
+
+
+class TestInputPort:
+    def test_default_vc_map_assigns_one_vc_per_class(self):
+        port = InputPort(num_vcs=3, vc_depth_flits=5)
+        assert port.vc_index_for(MessageClass.REQUEST) == 0
+        assert port.vc_index_for(MessageClass.SNOOP) == 1
+        assert port.vc_index_for(MessageClass.RESPONSE) == 2
+
+    def test_two_vc_port_shares_a_vc(self):
+        port = InputPort(
+            num_vcs=2,
+            vc_depth_flits=3,
+            vc_map={MessageClass.REQUEST: 0, MessageClass.SNOOP: 0, MessageClass.RESPONSE: 1},
+        )
+        assert port.vc_index_for(MessageClass.REQUEST) == port.vc_index_for(MessageClass.SNOOP)
+        assert port.vc_index_for(MessageClass.RESPONSE) == 1
+
+    def test_vc_for_returns_matching_buffer(self):
+        port = InputPort(num_vcs=3, vc_depth_flits=5)
+        assert port.vc_for(MessageClass.RESPONSE) is port.vcs[2]
+
+    def test_occupancy_and_empty(self):
+        port = InputPort(num_vcs=2, vc_depth_flits=5)
+        assert port.empty
+        packet = make_packet(2)
+        vc = port.vc_for(MessageClass.REQUEST)
+        vc.reserve(2)
+        vc.push(packet)
+        assert not port.empty
+        assert port.occupancy_flits == 2
+
+    def test_invalid_vc_map_rejected(self):
+        with pytest.raises(ValueError):
+            InputPort(num_vcs=2, vc_depth_flits=3, vc_map={MessageClass.REQUEST: 5})
+
+    def test_invalid_num_vcs_rejected(self):
+        with pytest.raises(ValueError):
+            InputPort(num_vcs=0, vc_depth_flits=3)
+
+    def test_unbounded_port_never_backpressures(self):
+        port = unbounded_input_port()
+        vc = port.vc_for(MessageClass.RESPONSE)
+        assert vc.can_reserve(10_000)

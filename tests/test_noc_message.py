@@ -1,0 +1,79 @@
+"""Unit tests for messages, packets and flit accounting."""
+
+import pytest
+
+from repro.noc.message import (
+    Message,
+    MessageClass,
+    Packet,
+    control_message_bits,
+    data_message_bits,
+)
+
+
+def make_message(size_bits=128, msg_class=MessageClass.REQUEST):
+    return Message(src=0, dst=1, msg_class=msg_class, size_bits=size_bits)
+
+
+def test_message_sizes():
+    assert control_message_bits() == 128
+    assert data_message_bits(64) == 128 + 512
+
+
+def test_control_message_does_not_carry_data():
+    assert not make_message(control_message_bits()).carries_data
+    assert make_message(data_message_bits()).carries_data
+
+
+def test_message_ids_are_unique():
+    assert make_message().message_id != make_message().message_id
+
+
+def test_message_size_must_be_positive():
+    with pytest.raises(ValueError):
+        Message(src=0, dst=1, msg_class=MessageClass.REQUEST, size_bits=0)
+
+
+def test_single_flit_control_packet():
+    packet = Packet(make_message(128), link_width_bits=128)
+    assert packet.num_flits == 1
+
+
+def test_data_packet_flit_count_at_128_bits():
+    packet = Packet(make_message(data_message_bits()), link_width_bits=128)
+    assert packet.num_flits == 5  # 640 bits / 128 bits per flit
+
+
+def test_narrow_links_increase_flit_count():
+    wide = Packet(make_message(data_message_bits()), link_width_bits=128)
+    narrow = Packet(make_message(data_message_bits()), link_width_bits=32)
+    assert narrow.num_flits == 4 * wide.num_flits
+
+
+def test_flit_count_rounds_up():
+    packet = Packet(make_message(129), link_width_bits=128)
+    assert packet.num_flits == 2
+
+
+def test_packet_exposes_message_fields():
+    message = make_message(msg_class=MessageClass.RESPONSE)
+    packet = Packet(message, 128)
+    assert packet.src == 0
+    assert packet.dst == 1
+    assert packet.msg_class == MessageClass.RESPONSE
+
+
+def test_packet_latency():
+    message = make_message()
+    message.created_cycle = 10
+    packet = Packet(message, 128)
+    assert packet.latency(35) == 25
+
+
+def test_invalid_link_width_rejected():
+    with pytest.raises(ValueError):
+        Packet(make_message(), link_width_bits=0)
+
+
+def test_message_class_values_cover_paper_classes():
+    assert {c.name for c in MessageClass} == {"REQUEST", "SNOOP", "RESPONSE"}

@@ -1,0 +1,60 @@
+"""Unit tests for the Component wake/tick idiom."""
+
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+
+
+class TickRecorder(Component):
+    def __init__(self, sim):
+        super().__init__(sim, "recorder")
+        self.ticks = []
+
+    def _tick(self):
+        self.ticks.append(self.sim.cycle)
+
+
+def test_wake_schedules_tick():
+    sim = Simulator()
+    component = TickRecorder(sim)
+    component.wake(3)
+    sim.run(10)
+    assert component.ticks == [3]
+
+
+def test_duplicate_wakes_for_same_cycle_coalesce():
+    sim = Simulator()
+    component = TickRecorder(sim)
+    component.wake(2)
+    component.wake(2)
+    component.wake(2)
+    sim.run(5)
+    assert component.ticks == [2]
+
+
+def test_component_can_rewake_itself():
+    sim = Simulator()
+
+    class SelfWaking(TickRecorder):
+        def _tick(self):
+            super()._tick()
+            if len(self.ticks) < 3:
+                self.wake(1)
+
+    component = SelfWaking(sim)
+    component.wake(0)
+    sim.run(10)
+    assert component.ticks == [0, 1, 2]
+
+
+def test_now_property_tracks_clock():
+    sim = Simulator()
+    component = TickRecorder(sim)
+    sim.run(5)
+    assert component.now == 5
+
+
+def test_component_has_stats_group():
+    sim = Simulator()
+    component = TickRecorder(sim)
+    component.stats.counter("events").add()
+    assert component.stats.counter("events").value == 1

@@ -1,0 +1,132 @@
+"""Unit tests for the event-driven simulation kernel."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+
+
+def test_initial_state():
+    sim = Simulator()
+    assert sim.cycle == 0
+    assert sim.pending_events == 0
+    assert sim.events_processed == 0
+
+
+def test_schedule_and_run_executes_callback():
+    sim = Simulator()
+    fired = []
+    sim.schedule(lambda: fired.append(sim.cycle), delay=5)
+    sim.run(10)
+    assert fired == [5]
+    assert sim.cycle == 10
+
+
+def test_run_returns_number_of_events():
+    sim = Simulator()
+    for delay in range(3):
+        sim.schedule(lambda: None, delay=delay)
+    assert sim.run(5) == 3
+
+
+def test_events_beyond_horizon_stay_queued():
+    sim = Simulator()
+    fired = []
+    sim.schedule(lambda: fired.append("late"), delay=100)
+    sim.run(10)
+    assert fired == []
+    assert sim.pending_events == 1
+    sim.run(100)
+    assert fired == ["late"]
+
+
+def test_same_cycle_events_run_in_schedule_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(lambda: order.append("a"), delay=2)
+    sim.schedule(lambda: order.append("b"), delay=2)
+    sim.schedule(lambda: order.append("c"), delay=2)
+    sim.run(5)
+    assert order == ["a", "b", "c"]
+
+
+def test_event_can_schedule_followup_in_same_run():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append(("first", sim.cycle))
+        sim.schedule(lambda: seen.append(("second", sim.cycle)), delay=3)
+
+    sim.schedule(first, delay=1)
+    sim.run(10)
+    assert seen == [("first", 1), ("second", 4)]
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(lambda: None, delay=-1)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.run(10)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(lambda: None, cycle=5)
+
+
+def test_clock_advances_to_horizon_even_without_events():
+    sim = Simulator()
+    sim.run(42)
+    assert sim.cycle == 42
+
+
+def test_run_until_absolute_cycle():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(lambda: fired.append(sim.cycle), 7)
+    sim.run_until(7)
+    assert fired == [7]
+    assert sim.cycle == 7
+
+
+def test_run_to_completion_drains_queue():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            sim.schedule(lambda: chain(n + 1), delay=10)
+
+    sim.schedule(lambda: chain(0), delay=0)
+    sim.run_to_completion()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert sim.pending_events == 0
+
+
+def test_run_to_completion_respects_max_cycles():
+    sim = Simulator()
+    fired = []
+    sim.schedule(lambda: fired.append(1), delay=5)
+    sim.schedule(lambda: fired.append(2), delay=500)
+    sim.run_to_completion(max_cycles=100)
+    assert fired == [1]
+    assert sim.pending_events == 1
+
+
+def test_derived_rng_is_deterministic():
+    sim_a = Simulator(seed=11)
+    sim_b = Simulator(seed=11)
+    assert sim_a.derived_rng(3).random() == sim_b.derived_rng(3).random()
+    assert sim_a.derived_rng(3).random() != sim_a.derived_rng(4).random()
+
+
+def test_events_processed_accumulates():
+    sim = Simulator()
+    for delay in (1, 2, 3):
+        sim.schedule(lambda: None, delay=delay)
+    sim.run(2)
+    assert sim.events_processed == 2
+    sim.run(2)
+    assert sim.events_processed == 3

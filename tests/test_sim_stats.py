@@ -1,0 +1,112 @@
+"""Unit tests for counters, histograms and stat groups."""
+
+import pytest
+
+from repro.sim.stats import Counter, Histogram, StatGroup
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("c").value == 0
+
+    def test_add_default_increment(self):
+        counter = Counter("c")
+        counter.add()
+        counter.add()
+        assert counter.value == 2
+
+    def test_add_amount(self):
+        counter = Counter("c")
+        counter.add(2.5)
+        assert counter.value == 2.5
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.add(10)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestHistogram:
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram("h").mean == 0.0
+
+    def test_mean_min_max(self):
+        hist = Histogram("h")
+        for value in (1, 2, 3, 4):
+            hist.add(value)
+        assert hist.mean == pytest.approx(2.5)
+        assert hist.min == 1
+        assert hist.max == 4
+        assert hist.count == 4
+
+    def test_percentile(self):
+        hist = Histogram("h")
+        for value in range(101):
+            hist.add(value)
+        assert hist.percentile(0) == 0
+        assert hist.percentile(50) == pytest.approx(50)
+        assert hist.percentile(100) == 100
+
+    def test_percentile_out_of_range_rejected(self):
+        hist = Histogram("h")
+        hist.add(1)
+        with pytest.raises(ValueError):
+            hist.percentile(150)
+
+    def test_percentile_without_samples_is_zero(self):
+        assert Histogram("h").percentile(50) == 0.0
+
+    def test_keep_samples_false_still_tracks_mean(self):
+        hist = Histogram("h", keep_samples=False)
+        hist.add(10)
+        hist.add(20)
+        assert hist.mean == 15
+        assert hist.percentile(50) == 0.0  # samples not retained
+
+    def test_reset(self):
+        hist = Histogram("h")
+        hist.add(5)
+        hist.reset()
+        assert hist.count == 0
+        assert hist.min is None
+        assert hist.mean == 0.0
+
+
+class TestStatGroup:
+    def test_counter_is_memoised(self):
+        group = StatGroup("g")
+        assert group.counter("x") is group.counter("x")
+
+    def test_histogram_is_memoised(self):
+        group = StatGroup("g")
+        assert group.histogram("h") is group.histogram("h")
+
+    def test_nested_groups(self):
+        group = StatGroup("root")
+        child = group.group("child")
+        child.counter("x").add(3)
+        assert group.to_dict()["child"]["x"] == 3
+
+    def test_reset_recurses(self):
+        group = StatGroup("root")
+        group.counter("a").add(1)
+        group.group("child").counter("b").add(2)
+        group.reset()
+        assert group.counter("a").value == 0
+        assert group.group("child").counter("b").value == 0
+
+    def test_to_dict_includes_histograms(self):
+        group = StatGroup("g")
+        group.histogram("lat").add(4)
+        data = group.to_dict()
+        assert data["lat"]["count"] == 1
+        assert data["lat"]["mean"] == 4
+
+    def test_flat_items(self):
+        group = StatGroup("g")
+        group.counter("a").add(1)
+        group.group("sub").counter("b").add(2)
+        flattened = dict(group.flat_items())
+        assert flattened["a"] == 1
+        assert flattened["sub.b"] == 2

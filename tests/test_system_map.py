@@ -1,0 +1,118 @@
+"""Unit tests for node-id assignment, placement and address interleaving."""
+
+import pytest
+
+from repro.chip.system_map import NocOutSystemMap, TiledSystemMap, build_system_map
+from repro.config.noc import Topology
+
+from conftest import small_system
+
+
+class TestTiledSystemMap:
+    def setup_method(self):
+        self.map = TiledSystemMap(small_system(Topology.MESH, num_cores=16))
+
+    def test_core_and_llc_share_tile_nodes(self):
+        assert self.map.core_node(5) == 5
+        assert self.map.llc_node(5) == 5
+        assert self.map.llc_node_ids == list(range(16))
+
+    def test_mc_nodes_follow_tiles(self):
+        assert self.map.mc_node(0) == 16
+        assert self.map.mc_node(3) == 19
+        assert len(self.map.mc_node_ids) == 4
+
+    def test_home_node_interleaves_blocks_across_tiles(self):
+        homes = {self.map.home_node(block * 64) for block in range(16)}
+        assert homes == set(range(16))
+
+    def test_mc_for_address_in_range(self):
+        for addr in (0x0, 0x1000, 0x2000, 0x100000):
+            assert self.map.mc_node_for(addr) in self.map.mc_node_ids
+
+    def test_tile_coordinates(self):
+        assert self.map.tile_coord(0) == (0, 0)
+        assert self.map.tile_coord(5) == (1, 1)
+        assert self.map.tile_coord(15) == (3, 3)
+
+    def test_node_coords_cover_all_nodes(self):
+        coords = self.map.node_coords()
+        assert set(coords) == set(range(16)) | set(self.map.mc_node_ids)
+
+    def test_one_llc_bank_per_tile(self):
+        banks = self.map.llc_bank_configs()
+        assert len(banks) == 1
+        assert banks[0].size_bytes == 8 * 1024 * 1024 // 16
+
+    def test_active_cores_are_central(self):
+        active = self.map.active_core_ids(4)
+        assert len(active) == 4
+        for core in active:
+            col, row = self.map.tile_coord(core)
+            assert 1 <= col <= 2 and 1 <= row <= 2
+
+    def test_out_of_range_ids_rejected(self):
+        with pytest.raises(ValueError):
+            self.map.core_node(16)
+        with pytest.raises(ValueError):
+            self.map.mc_node(4)
+
+
+class TestNocOutSystemMap:
+    def setup_method(self):
+        self.map = NocOutSystemMap(small_system(Topology.NOC_OUT, num_cores=64))
+
+    def test_node_id_ranges_are_disjoint(self):
+        cores = set(self.map.core_node_ids)
+        llcs = set(self.map.llc_node_ids)
+        mcs = set(self.map.mc_node_ids)
+        assert not cores & llcs
+        assert not llcs & mcs
+        assert len(cores) == 64 and len(llcs) == 8 and len(mcs) == 4
+
+    def test_home_node_is_an_llc_tile(self):
+        for block in range(64):
+            assert self.map.home_node(block * 64) in self.map.llc_node_ids
+
+    def test_blocks_interleave_across_all_banks(self):
+        # 16 banks -> 16 consecutive blocks touch each tile exactly twice.
+        tiles = [self.map.home_node(block * 64) for block in range(16)]
+        assert all(tiles.count(node) == 2 for node in set(tiles))
+        assert len(set(tiles)) == 8
+
+    def test_two_banks_per_llc_tile(self):
+        banks = self.map.llc_bank_configs()
+        assert len(banks) == 2
+        assert banks[0].size_bytes == 512 * 1024
+
+    def test_core_positions_form_8_by_8_grid(self):
+        positions = self.map.core_positions()
+        assert len(positions) == 64
+        columns = {pos[0] for pos in positions.values()}
+        rows = {pos[1] for pos in positions.values()}
+        assert columns == set(range(8))
+        assert rows == set(range(8))
+
+    def test_mcs_attach_to_edge_columns(self):
+        columns = set(self.map.mc_columns().values())
+        assert columns == {0, 7}
+
+    def test_active_cores_are_adjacent_to_llc(self):
+        active = self.map.active_core_ids(16)
+        assert len(active) == 16
+        rows = {self.map.core_position(core)[1] for core in active}
+        assert rows <= {3, 4}  # the two rows touching the LLC row
+
+    def test_uneven_core_split_rejected(self):
+        with pytest.raises(ValueError):
+            NocOutSystemMap(small_system(Topology.NOC_OUT, num_cores=4))
+
+
+class TestBuildSystemMap:
+    def test_factory_selects_layout(self):
+        assert isinstance(build_system_map(small_system(Topology.MESH)), TiledSystemMap)
+        assert isinstance(
+            build_system_map(small_system(Topology.FLATTENED_BUTTERFLY)), TiledSystemMap
+        )
+        assert isinstance(build_system_map(small_system(Topology.IDEAL)), TiledSystemMap)
+        assert isinstance(build_system_map(small_system(Topology.NOC_OUT)), NocOutSystemMap)
