@@ -6,7 +6,7 @@ cores per bank performs within ~2 % of one core per bank.
 
 from repro.experiments import ablations
 
-from conftest import emit, run_once
+from bench_common import emit, run_once
 
 
 def test_llc_banking_ablation(benchmark, run_settings):

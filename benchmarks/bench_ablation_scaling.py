@@ -2,7 +2,7 @@
 
 from repro.experiments import ablations
 
-from conftest import emit, run_once
+from bench_common import emit, run_once
 
 
 def test_scaling_extensions_ablation(benchmark, run_settings):

@@ -2,7 +2,7 @@
 
 from repro.experiments import ablations
 
-from conftest import emit, run_once
+from bench_common import emit, run_once
 
 
 def test_tree_arbitration_ablation(benchmark, run_settings):

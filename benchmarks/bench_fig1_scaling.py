@@ -2,7 +2,7 @@
 
 from repro.experiments import fig1_scaling
 
-from conftest import emit, run_once
+from bench_common import emit, run_once
 
 
 def test_figure1_core_count_scaling(benchmark, run_settings):

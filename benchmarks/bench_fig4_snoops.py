@@ -2,7 +2,7 @@
 
 from repro.experiments import fig4_snoops
 
-from conftest import emit, run_once
+from bench_common import emit, run_once
 
 
 def test_figure4_snoop_rates(benchmark, run_settings):

@@ -2,7 +2,7 @@
 
 from repro.experiments import fig8_area
 
-from conftest import emit, run_once
+from bench_common import emit, run_once
 
 
 def test_figure8_noc_area_breakdown(benchmark):

@@ -3,7 +3,7 @@
 from repro.config.noc import Topology
 from repro.experiments import fig9_area_normalized
 
-from conftest import emit, run_once
+from bench_common import emit, run_once
 
 
 def test_figure9_area_normalized_performance(benchmark, run_settings):

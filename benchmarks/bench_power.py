@@ -3,7 +3,7 @@
 from repro.config.noc import Topology
 from repro.experiments import power_analysis
 
-from conftest import emit, run_once
+from bench_common import emit, run_once
 
 
 def test_noc_power_analysis(benchmark, run_settings):

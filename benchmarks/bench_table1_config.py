@@ -2,7 +2,7 @@
 
 from repro.experiments import table1
 
-from conftest import emit, run_once
+from bench_common import emit, run_once
 
 
 def test_table1_configuration(benchmark):

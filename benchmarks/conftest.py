@@ -1,14 +1,17 @@
-"""Shared helpers for the benchmark suite.
+"""Fixtures for the benchmark suite.
 
 Each benchmark regenerates one table or figure of the paper and prints the
 corresponding rows.  Simulation windows can be scaled with the
 ``REPRO_EXPERIMENT_SCALE`` environment variable (e.g. ``0.5`` for a quick
-pass, ``3`` for smoother numbers).
+pass, ``3`` for smoother numbers); parallelism and result caching are
+controlled by ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` / ``REPRO_CACHE`` (see
+``docs/experiments.md``).
+
+Only pytest fixtures live here; plain helpers (``emit``, ``run_once``) are
+in :mod:`bench_common` so benchmark scripts never import from ``conftest``.
 """
 
 from __future__ import annotations
-
-from pathlib import Path
 
 import pytest
 
@@ -19,30 +22,3 @@ from repro.experiments.harness import RunSettings
 def run_settings() -> RunSettings:
     """Measurement windows used by the simulation-based benchmarks."""
     return RunSettings.from_env()
-
-
-def run_once(benchmark, function, *args, **kwargs):
-    """Run ``function`` exactly once under pytest-benchmark timing.
-
-    The experiments are full chip simulations (seconds each), so repeating
-    them for statistical timing would be wasteful; one round gives the
-    wall-clock cost and the experiment's own output is deterministic.
-    """
-    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
-
-
-#: All rendered tables are also appended here so results survive pytest's
-#: output capturing; the file is truncated at the start of each session.
-RESULTS_FILE = Path(__file__).resolve().parent.parent / "benchmark_results.txt"
-_results_initialised = False
-
-
-def emit(title: str, text: str) -> None:
-    """Print a rendered table and append it to ``benchmark_results.txt``."""
-    global _results_initialised
-    block = f"\n==== {title} ====\n{text}\n"
-    print(block)
-    mode = "a" if _results_initialised else "w"
-    with open(RESULTS_FILE, mode) as handle:
-        handle.write(block)
-    _results_initialised = True

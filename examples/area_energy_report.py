@@ -10,9 +10,10 @@ Run with::
     python examples/area_energy_report.py
 """
 
-from repro import NocAreaModel, NocEnergyModel, build_chip, presets
+from repro import NocAreaModel, NocEnergyModel, presets
 from repro.analysis.report import ReportTable
 from repro.config.noc import Topology
+from repro.experiments import RunSettings, run_topology_sweep
 
 TOPOLOGIES = (Topology.MESH, Topology.FLATTENED_BUTTERFLY, Topology.NOC_OUT)
 
@@ -42,12 +43,13 @@ def power_report() -> ReportTable:
         ["Organization", "NoC power (W)", "Link share"],
         title="Section 6.4: NoC power on Data Serving",
     )
+    settings = RunSettings(
+        warmup_references=2000, detailed_warmup_cycles=800, measure_cycles=4000
+    )
+    # One engine batch: cached across invocations, parallel across topologies.
+    sweep = run_topology_sweep([workload.name], TOPOLOGIES, settings=settings)
     for topology in TOPOLOGIES:
-        config = presets.baseline_system(topology).with_workload(workload)
-        chip = build_chip(config)
-        results = chip.run_experiment(
-            warmup_references=2000, detailed_warmup_cycles=800, measure_cycles=4000
-        )
+        results = sweep[(workload.name, topology)]
         report = energy_model.report(results.network_activity, results.cycles)
         link_share = report.link_energy_j / report.total_energy_j if report.total_energy_j else 0.0
         table.add_row(topology.value, report.total_power_w, f"{100 * link_share:.0f}%")

@@ -6,45 +6,52 @@ cores when the interconnect is an ideal (wire-only) fabric versus a mesh,
 using the Data Serving workload.  The growing gap is the motivation for
 NOC-Out's delay-optimised organization.
 
+All eight (fabric, core count) points are described up front and handed to
+the experiment engine in one batch: uncached points fan out over
+``REPRO_JOBS`` worker processes and finished points are cached on disk, so
+a re-run of this script is free (see docs/experiments.md).
+
 Run with::
 
     python examples/scaling_study.py
 """
 
-from repro import build_chip, presets
+from repro import presets
 from repro.analysis.report import ReportTable
 from repro.config.noc import Topology
+from repro.experiments import RunSettings, point_for, run_experiments
 
 CORE_COUNTS = (1, 4, 16, 64)
-
-
-def per_core_ipc(topology: Topology, num_cores: int) -> float:
-    workload = presets.workload("Data Serving")
-    config = presets.baseline_system(topology, num_cores=num_cores).with_workload(workload)
-    chip = build_chip(config)
-    results = chip.run_experiment(
-        warmup_references=2000, detailed_warmup_cycles=800, measure_cycles=4000
-    )
-    return results.per_core_ipc
+SETTINGS = RunSettings(
+    warmup_references=2000, detailed_warmup_cycles=800, measure_cycles=4000
+)
 
 
 def main() -> None:
+    workload = presets.workload("Data Serving")
+    keys = [
+        (topology, count)
+        for topology in (Topology.IDEAL, Topology.MESH)
+        for count in CORE_COUNTS
+    ]
+    points = [
+        point_for(topology, workload, num_cores=count, settings=SETTINGS)
+        for topology, count in keys
+    ]
+    per_core = {
+        key: result.per_core_ipc for key, result in zip(keys, run_experiments(points))
+    }
+
     table = ReportTable(
         ["Cores", "Ideal per-core perf", "Mesh per-core perf", "Mesh / Ideal"],
         title="Per-core performance vs. core count (Data Serving, normalised to 1 core)",
     )
-    ideal_base = mesh_base = None
+    ideal_base = per_core[(Topology.IDEAL, CORE_COUNTS[0])]
+    mesh_base = per_core[(Topology.MESH, CORE_COUNTS[0])]
     for count in CORE_COUNTS:
-        ideal = per_core_ipc(Topology.IDEAL, count)
-        mesh = per_core_ipc(Topology.MESH, count)
-        ideal_base = ideal_base or ideal
-        mesh_base = mesh_base or mesh
-        table.add_row(
-            count,
-            ideal / ideal_base,
-            mesh / mesh_base,
-            (mesh / mesh_base) / (ideal / ideal_base),
-        )
+        ideal = per_core[(Topology.IDEAL, count)] / ideal_base
+        mesh = per_core[(Topology.MESH, count)] / mesh_base
+        table.add_row(count, ideal, mesh, mesh / ideal)
     print(table.render())
     print()
     print(

@@ -6,6 +6,10 @@ three evaluated chip organizations, normalises throughput to the mesh and
 also reports the NoC area of each design (Figure 8) so the
 performance/area trade-off the paper argues for is visible in one table.
 
+The three runs go through the experiment engine (``run_topology_sweep``),
+so they execute in parallel on a multi-core machine and are served from the
+on-disk result cache on a re-run (see docs/experiments.md).
+
 Run with::
 
     python examples/topology_comparison.py [workload-name]
@@ -13,42 +17,39 @@ Run with::
 
 import sys
 
-from repro import NocAreaModel, build_chip, presets
+from repro import NocAreaModel, presets
 from repro.analysis.report import ReportTable
 from repro.config.noc import Topology
+from repro.experiments import RunSettings, run_topology_sweep
+
+TOPOLOGIES = (Topology.MESH, Topology.FLATTENED_BUTTERFLY, Topology.NOC_OUT)
+SETTINGS = RunSettings(
+    warmup_references=2500, detailed_warmup_cycles=1000, measure_cycles=5000
+)
 
 
 def main() -> None:
     workload_name = sys.argv[1] if len(sys.argv) > 1 else "Data Serving"
-    workload = presets.workload(workload_name)
     area_model = NocAreaModel()
+    results = run_topology_sweep([workload_name], TOPOLOGIES, settings=SETTINGS)
 
-    rows = []
-    mesh_ipc = None
-    for topology in (Topology.MESH, Topology.FLATTENED_BUTTERFLY, Topology.NOC_OUT):
-        config = presets.baseline_system(topology).with_workload(workload)
-        chip = build_chip(config)
-        results = chip.run_experiment(
-            warmup_references=2500, detailed_warmup_cycles=1000, measure_cycles=5000
-        )
-        if mesh_ipc is None:
-            mesh_ipc = results.throughput_ipc
-        rows.append(
-            (
-                topology.value,
-                results.throughput_ipc,
-                results.throughput_ipc / mesh_ipc,
-                results.network_mean_latency,
-                area_model.total_area_mm2(config),
-            )
-        )
-
+    mesh_ipc = results[(workload_name, Topology.MESH)].throughput_ipc
     table = ReportTable(
         ["Organization", "IPC", "vs. mesh", "NoC latency", "NoC area (mm2)"],
         title=f"Topology comparison on {workload_name} (64-core CMP)",
     )
-    for row in rows:
-        table.add_row(*row)
+    for topology in TOPOLOGIES:
+        result = results[(workload_name, topology)]
+        config = presets.baseline_system(topology).with_workload(
+            presets.workload(workload_name)
+        )
+        table.add_row(
+            topology.value,
+            result.throughput_ipc,
+            result.throughput_ipc / mesh_ipc if mesh_ipc else 0.0,
+            result.network_mean_latency,
+            area_model.total_area_mm2(config),
+        )
     print(table.render())
     print()
     print(

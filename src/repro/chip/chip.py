@@ -55,6 +55,30 @@ class SimulationResults:
     bank_conflicts: int = 0
     network_activity: Dict[str, float] = field(default_factory=dict)
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form used by the experiment engine's result cache."""
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimulationResults":
+        """Rebuild results from :meth:`to_dict` output (or its JSON round-trip).
+
+        JSON turns the integer keys of ``per_core_instructions`` into
+        strings; they are converted back here.  Unknown keys are ignored so
+        old cache entries with extra fields still load.
+        """
+        from dataclasses import fields as dataclass_fields
+
+        known = {f.name for f in dataclass_fields(cls)}
+        kwargs = {key: value for key, value in data.items() if key in known}
+        per_core = kwargs.get("per_core_instructions") or {}
+        kwargs["per_core_instructions"] = {
+            int(core): int(count) for core, count in per_core.items()
+        }
+        return cls(**kwargs)
+
     @property
     def throughput_ipc(self) -> float:
         """System throughput: committed instructions per cycle (paper's metric)."""

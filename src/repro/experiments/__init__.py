@@ -5,11 +5,28 @@ a ``render_*`` helper producing the text table the benchmarks print.  The
 benchmark suite under ``benchmarks/`` is a thin wrapper around these
 functions, so the full evaluation can also be driven programmatically (see
 ``examples/``).
+
+All simulation sweeps execute through :mod:`repro.experiments.engine`: a
+parallel, cache-aware executor that deduplicates identical points, serves
+repeats from an on-disk result cache, and fans the remainder out over
+worker processes (``REPRO_JOBS``).  See ``docs/experiments.md``.
 """
 
-from repro.experiments.harness import RunSettings, run_single, run_topology_sweep
+from repro.experiments.engine import (
+    ExperimentPoint,
+    ResultCache,
+    SweepExecutor,
+    run_experiments,
+)
+from repro.experiments.harness import (
+    RunSettings,
+    point_for,
+    run_single,
+    run_topology_sweep,
+)
 from repro.experiments import (
     ablations,
+    engine,
     fig1_scaling,
     fig4_snoops,
     fig7_performance,
@@ -20,7 +37,13 @@ from repro.experiments import (
 )
 
 __all__ = [
+    "ExperimentPoint",
+    "ResultCache",
     "RunSettings",
+    "SweepExecutor",
+    "engine",
+    "point_for",
+    "run_experiments",
     "run_single",
     "run_topology_sweep",
     "ablations",

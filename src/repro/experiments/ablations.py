@@ -18,7 +18,8 @@ from typing import Dict, Iterable, Optional, Sequence
 from repro.analysis.report import ReportTable
 from repro.config import presets
 from repro.config.noc import Topology
-from repro.experiments.harness import RunSettings, run_single
+from repro.experiments.engine import run_experiments
+from repro.experiments.harness import RunSettings, point_for
 
 #: Banks-per-tile sweep: 8 tiles x {1, 2, 4, 8} banks = 8..64 LLC banks,
 #: i.e. from 8 cores per bank down to 1 core per bank on a 64-core chip.
@@ -30,48 +31,56 @@ def run_llc_banking_ablation(
     banks_per_tile: Sequence[int] = BANKING_SWEEP,
     num_cores: int = 64,
     settings: Optional[RunSettings] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[int, float]:
     """NOC-Out throughput as a function of LLC banks per tile."""
     workload = presets.workload(workload_name)
     settings = settings or RunSettings.from_env()
-    throughput: Dict[int, float] = {}
-    for banks in banks_per_tile:
-        result = run_single(
+    points = [
+        point_for(
             Topology.NOC_OUT,
             workload,
             num_cores=num_cores,
             settings=settings,
             noc_overrides={"llc_banks_per_tile": banks},
         )
-        throughput[banks] = result.throughput_ipc
-    return throughput
+        for banks in banks_per_tile
+    ]
+    results = run_experiments(points, jobs=jobs)
+    return {
+        banks: result.throughput_ipc for banks, result in zip(banks_per_tile, results)
+    }
 
 
 def run_tree_arbitration_ablation(
     workload_name: str = "Data Serving",
     num_cores: int = 64,
     settings: Optional[RunSettings] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, float]:
     """NOC-Out throughput with static-priority vs. round-robin tree arbiters."""
     workload = presets.workload(workload_name)
     settings = settings or RunSettings.from_env()
-    throughput: Dict[str, float] = {}
-    for policy in ("static_priority", "round_robin"):
-        result = run_single(
+    policies = ("static_priority", "round_robin")
+    points = [
+        point_for(
             Topology.NOC_OUT,
             workload,
             num_cores=num_cores,
             settings=settings,
             noc_overrides={"tree_arbitration": policy},
         )
-        throughput[policy] = result.throughput_ipc
-    return throughput
+        for policy in policies
+    ]
+    results = run_experiments(points, jobs=jobs)
+    return {policy: result.throughput_ipc for policy, result in zip(policies, results)}
 
 
 def run_scaling_ablation(
     workload_name: str = "MapReduce-W",
     num_cores: int = 128,
     settings: Optional[RunSettings] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, float]:
     """128-core NOC-Out: baseline trees vs. concentration vs. express links."""
     workload = presets.workload(workload_name)
@@ -82,17 +91,20 @@ def run_scaling_ablation(
         "express links": {"tree_express_links": True},
         "concentration + express": {"tree_concentration": 2, "tree_express_links": True},
     }
-    throughput: Dict[str, float] = {}
-    for label, overrides in variants.items():
-        result = run_single(
+    points = [
+        point_for(
             Topology.NOC_OUT,
             workload,
             num_cores=num_cores,
             settings=settings,
             noc_overrides=overrides,
         )
-        throughput[label] = result.throughput_ipc
-    return throughput
+        for overrides in variants.values()
+    ]
+    results = run_experiments(points, jobs=jobs)
+    return {
+        label: result.throughput_ipc for label, result in zip(variants, results)
+    }
 
 
 def render_ablation(results: Dict, title: str, key_label: str) -> ReportTable:

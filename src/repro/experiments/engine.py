@@ -1,0 +1,299 @@
+"""Parallel, cache-aware experiment engine.
+
+The paper's headline results (Figures 1, 4, 7-9) are cross products of
+workloads x topologies x core counts.  Every such point is an isolated,
+deterministic discrete-event simulation, so the sweep is embarrassingly
+parallel.  This module turns a sweep into explicit data:
+
+* :class:`ExperimentPoint` — one (configuration, run settings) pair with a
+  stable content hash that identifies the simulation it describes;
+* :class:`ResultCache` — an on-disk JSON cache keyed by that hash, so
+  re-running a figure script after touching only plotting code is free;
+* :class:`SweepExecutor` — fans points out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (worker count from the
+  ``REPRO_JOBS`` environment variable, default ``os.cpu_count()``), with a
+  serial fallback for ``REPRO_JOBS=1`` that is bit-identical to the
+  pre-engine behaviour.
+
+Environment variables
+---------------------
+``REPRO_JOBS``
+    Worker processes for a sweep.  ``1`` forces the serial path.
+``REPRO_CACHE_DIR``
+    Cache directory (default ``~/.cache/repro``).
+``REPRO_CACHE``
+    Set to ``0``/``off``/``false``/``no`` to disable the result cache.
+``REPRO_EXPERIMENT_SCALE``
+    Consumed by :meth:`RunSettings.from_env` (see
+    :mod:`repro.experiments.harness`); scaled settings hash differently, so
+    cached results at different scales never collide.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from enum import Enum
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.chip.chip import Chip, SimulationResults
+from repro.config.system import SystemConfig
+
+#: Worker-count environment variable (default: ``os.cpu_count()``).
+JOBS_ENV_VAR = "REPRO_JOBS"
+#: Cache-directory environment variable (default: ``~/.cache/repro``).
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+#: Cache kill-switch environment variable.
+CACHE_ENV_VAR = "REPRO_CACHE"
+
+#: Bump whenever the hash payload or the cache file layout changes; old
+#: entries then read as misses instead of deserialisation errors.
+CACHE_SCHEMA_VERSION = 1
+
+
+# --------------------------------------------------------------------- #
+# Canonical serialisation
+# --------------------------------------------------------------------- #
+def _canonical(value):
+    """Reduce configs to JSON-stable primitives (enums by value, no tuples)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _canonical(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(key): _canonical(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class ExperimentPoint:
+    """One point of a sweep: a complete chip config plus its run windows."""
+
+    config: SystemConfig
+    settings: "RunSettings"  # noqa: F821 — imported lazily to avoid a cycle
+
+    def __post_init__(self) -> None:
+        if self.config.workload is None:
+            raise ValueError("ExperimentPoint requires a config with a workload")
+
+    def canonical_dict(self) -> Dict[str, object]:
+        """JSON-stable description of the point (what the hash covers)."""
+        return {
+            "schema": CACHE_SCHEMA_VERSION,
+            "config": _canonical(self.config),
+            "settings": _canonical(self.settings),
+        }
+
+    def content_hash(self) -> str:
+        """Stable SHA-256 over the canonical description.
+
+        Unlike ``hash()``, this is identical across processes and Python
+        invocations, so it can key an on-disk cache shared between runs.
+        """
+        blob = json.dumps(self.canonical_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        """Short human-readable label (for logs and error messages)."""
+        workload = self.config.workload.name if self.config.workload else "?"
+        return (
+            f"{workload} / {self.config.noc.topology.value} / "
+            f"{self.config.num_cores} cores"
+        )
+
+
+def execute_point(point: ExperimentPoint) -> SimulationResults:
+    """Run one point's simulation (also the process-pool worker function)."""
+    chip = Chip(point.config)
+    return chip.run_experiment(
+        warmup_references=point.settings.warmup_references,
+        detailed_warmup_cycles=point.settings.detailed_warmup_cycles,
+        measure_cycles=point.settings.measure_cycles,
+    )
+
+
+# --------------------------------------------------------------------- #
+# On-disk result cache
+# --------------------------------------------------------------------- #
+def default_cache_root() -> Path:
+    env = os.environ.get(CACHE_DIR_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def cache_enabled() -> bool:
+    return os.environ.get(CACHE_ENV_VAR, "1").strip().lower() not in (
+        "0",
+        "off",
+        "false",
+        "no",
+    )
+
+
+class ResultCache:
+    """JSON result store keyed by :meth:`ExperimentPoint.content_hash`.
+
+    Corrupted or schema-incompatible entries are deleted and treated as
+    misses, so a crashed writer or a format change can never wedge a sweep.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+
+    def path_for(self, point: ExperimentPoint) -> Path:
+        return self.root / f"{point.content_hash()}.json"
+
+    def load(self, point: ExperimentPoint) -> Optional[SimulationResults]:
+        """Return the cached result for ``point``, or ``None`` on a miss."""
+        path = self.path_for(point)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("schema") != CACHE_SCHEMA_VERSION:
+                raise ValueError("cache schema mismatch")
+            return SimulationResults.from_dict(payload["result"])
+        except FileNotFoundError:
+            return None
+        except (ValueError, KeyError, TypeError, AttributeError, OSError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def store(self, point: ExperimentPoint, result: SimulationResults) -> Path:
+        """Atomically persist ``result`` under the point's hash."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(point)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "point": point.canonical_dict(),
+            "result": result.to_dict(),
+        }
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+
+# --------------------------------------------------------------------- #
+# Sweep execution
+# --------------------------------------------------------------------- #
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit argument > ``REPRO_JOBS`` > ``os.cpu_count()``."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV_VAR)
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError as exc:
+                raise ValueError(f"{JOBS_ENV_VAR} must be an integer, got {env!r}") from exc
+        else:
+            jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"job count must be >= 1, got {jobs}")
+    return jobs
+
+
+@dataclass
+class SweepStats:
+    """What one :meth:`SweepExecutor.run` call actually did."""
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    simulations_run: int = 0
+
+
+class SweepExecutor:
+    """Runs a batch of :class:`ExperimentPoint`\\ s, caching and fanning out.
+
+    ``jobs=1`` (or ``REPRO_JOBS=1``) executes points serially in-process,
+    bit-identical to the pre-engine loops; higher counts dispatch uncached
+    points to a process pool.  Per-point results are independent of the
+    worker count because every simulation seeds its own
+    :class:`~repro.sim.kernel.Simulator`.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        use_cache: Optional[bool] = None,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        if use_cache is None:
+            use_cache = cache is not None or cache_enabled()
+        self.cache: Optional[ResultCache] = (
+            (cache if cache is not None else ResultCache()) if use_cache else None
+        )
+        self.last_stats = SweepStats()
+
+    def run(self, points: Iterable[ExperimentPoint]) -> List[SimulationResults]:
+        """Execute ``points`` and return their results in the same order."""
+        points = list(points)
+        stats = SweepStats()
+        results: List[Optional[SimulationResults]] = [None] * len(points)
+
+        # Identical points (same content hash) are simulated only once.
+        groups: Dict[str, List[int]] = {}
+        for index, point in enumerate(points):
+            groups.setdefault(point.content_hash(), []).append(index)
+
+        pending: List[ExperimentPoint] = []
+        pending_indices: List[List[int]] = []
+        for digest, indices in groups.items():
+            point = points[indices[0]]
+            cached = self.cache.load(point) if self.cache is not None else None
+            if cached is not None:
+                stats.cache_hits += len(indices)
+                for index in indices:
+                    results[index] = cached
+            else:
+                stats.cache_misses += len(indices)
+                pending.append(point)
+                pending_indices.append(indices)
+
+        if pending:
+            stats.simulations_run = len(pending)
+            if self.jobs == 1 or len(pending) == 1:
+                executed = [execute_point(point) for point in pending]
+            else:
+                workers = min(self.jobs, len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    executed = list(pool.map(execute_point, pending))
+            for point, indices, result in zip(pending, pending_indices, executed):
+                if self.cache is not None:
+                    self.cache.store(point, result)
+                for index in indices:
+                    results[index] = result
+
+        self.last_stats = stats
+        return results  # type: ignore[return-value]
+
+
+def run_experiments(
+    points: Sequence[ExperimentPoint],
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> List[SimulationResults]:
+    """One-shot convenience wrapper around :class:`SweepExecutor`."""
+    return SweepExecutor(jobs=jobs, cache=cache).run(points)

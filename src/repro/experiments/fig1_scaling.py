@@ -13,7 +13,8 @@ from typing import Dict, Iterable, Optional, Sequence
 from repro.analysis.report import ReportTable
 from repro.config import presets
 from repro.config.noc import Topology
-from repro.experiments.harness import RunSettings, run_single
+from repro.experiments.engine import run_experiments
+from repro.experiments.harness import RunSettings, point_for
 
 #: Core counts swept in Figure 1.
 CORE_COUNTS = (1, 2, 4, 8, 16, 32, 64)
@@ -27,28 +28,39 @@ def run_figure1(
     workload_names: Optional[Iterable[str]] = None,
     core_counts: Sequence[int] = CORE_COUNTS,
     settings: Optional[RunSettings] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, Dict[int, float]]]:
     """Per-core performance normalised to the single-core run.
 
     Returns ``{workload: {"ideal"|"mesh": {core_count: normalised per-core perf}}}``.
+    All workload x fabric x core-count points run as one engine batch.
     """
     names = list(workload_names) if workload_names is not None else list(WORKLOADS)
     settings = settings or RunSettings.from_env()
-    curves: Dict[str, Dict[str, Dict[int, float]]] = {}
+    series = ((Topology.IDEAL, "ideal"), (Topology.MESH, "mesh"))
+
+    keys = []
+    points = []
     for name in names:
         workload = presets.workload(name)
-        curves[name] = {"ideal": {}, "mesh": {}}
-        for topology, label in ((Topology.IDEAL, "ideal"), (Topology.MESH, "mesh")):
-            per_core = {}
+        for topology, label in series:
             for count in core_counts:
-                result = run_single(
-                    topology, workload, num_cores=count, settings=settings
+                keys.append((name, label, count))
+                points.append(
+                    point_for(topology, workload, num_cores=count, settings=settings)
                 )
-                per_core[count] = result.per_core_ipc
-            baseline = per_core[core_counts[0]]
+    per_core = dict(
+        zip(keys, (result.per_core_ipc for result in run_experiments(points, jobs=jobs)))
+    )
+
+    curves: Dict[str, Dict[str, Dict[int, float]]] = {}
+    for name in names:
+        curves[name] = {}
+        for _, label in series:
+            baseline = per_core[(name, label, core_counts[0])]
             curves[name][label] = {
-                count: (value / baseline if baseline else 0.0)
-                for count, value in per_core.items()
+                count: (per_core[(name, label, count)] / baseline if baseline else 0.0)
+                for count in core_counts
             }
     return curves
 

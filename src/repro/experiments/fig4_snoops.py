@@ -12,7 +12,8 @@ from typing import Dict, Iterable, Optional
 from repro.analysis.report import ReportTable
 from repro.config import presets
 from repro.config.noc import Topology
-from repro.experiments.harness import RunSettings, run_single
+from repro.experiments.engine import run_experiments
+from repro.experiments.harness import RunSettings, point_for
 
 #: Approximate per-workload values read off Figure 4 (percent).
 PAPER_REFERENCE = {
@@ -30,15 +31,19 @@ def run_figure4(
     workload_names: Optional[Iterable[str]] = None,
     num_cores: int = 64,
     settings: Optional[RunSettings] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, float]:
     """Snoop-triggering LLC access percentage per workload (plus the mean)."""
     names = list(workload_names) if workload_names is not None else list(presets.WORKLOAD_NAMES)
     settings = settings or RunSettings.from_env()
-    rates: Dict[str, float] = {}
-    for name in names:
-        workload = presets.workload(name)
-        result = run_single(Topology.MESH, workload, num_cores=num_cores, settings=settings)
-        rates[name] = 100.0 * result.snoop_rate
+    points = [
+        point_for(Topology.MESH, presets.workload(name), num_cores=num_cores, settings=settings)
+        for name in names
+    ]
+    results = run_experiments(points, jobs=jobs)
+    rates: Dict[str, float] = {
+        name: 100.0 * result.snoop_rate for name, result in zip(names, results)
+    }
     rates["Mean"] = sum(rates[n] for n in names) / len(names)
     return rates
 

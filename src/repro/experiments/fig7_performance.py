@@ -35,10 +35,13 @@ def run_figure7(
     workload_names: Optional[Iterable[str]] = None,
     num_cores: int = 64,
     settings: Optional[RunSettings] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Run the Figure-7 sweep; returns normalised performance per workload."""
     names = list(workload_names) if workload_names is not None else list(presets.WORKLOAD_NAMES)
-    results = run_topology_sweep(names, TOPOLOGIES, num_cores=num_cores, settings=settings)
+    results = run_topology_sweep(
+        names, TOPOLOGIES, num_cores=num_cores, settings=settings, jobs=jobs
+    )
 
     normalised: Dict[str, Dict[str, float]] = {}
     for name in names:

@@ -3,6 +3,10 @@
 The paper reports ~3.5 mm2 for the mesh, ~23 mm2 for the flattened
 butterfly (~7x the mesh) and ~2.5 mm2 for NOC-Out (28 % below the mesh and
 over 9x below the flattened butterfly).
+
+Unlike the other figures this one is purely analytic — the area model reads
+static topology descriptors, no simulation runs — so it bypasses the
+experiment engine (:mod:`repro.experiments.engine`) and needs no caching.
 """
 
 from __future__ import annotations

@@ -47,6 +47,7 @@ def run_figure9(
     workload_names: Optional[Iterable[str]] = None,
     num_cores: int = 64,
     settings: Optional[RunSettings] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, object]:
     """Run the area-normalised comparison.
 
@@ -56,7 +57,12 @@ def run_figure9(
     names = list(workload_names) if workload_names is not None else list(presets.WORKLOAD_NAMES)
     budget, widths = area_budget_link_widths(num_cores=num_cores)
     results = run_topology_sweep(
-        names, TOPOLOGIES, num_cores=num_cores, settings=settings, link_widths=widths
+        names,
+        TOPOLOGIES,
+        num_cores=num_cores,
+        settings=settings,
+        link_widths=widths,
+        jobs=jobs,
     )
     normalised: Dict[str, Dict[str, float]] = {}
     for name in names:

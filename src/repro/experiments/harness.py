@@ -6,7 +6,7 @@ import os
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, Optional, Tuple
 
-from repro.chip.chip import Chip, SimulationResults
+from repro.chip.chip import SimulationResults
 from repro.config import presets
 from repro.config.noc import Topology
 from repro.config.system import SystemConfig
@@ -72,15 +72,17 @@ def system_for(
     return config.with_workload(workload)
 
 
-def run_single(
+def point_for(
     topology: Topology,
     workload: WorkloadConfig,
     num_cores: int = 64,
     link_width_bits: int = 128,
     settings: Optional[RunSettings] = None,
     noc_overrides: Optional[dict] = None,
-) -> SimulationResults:
-    """Run one (topology, workload) point and return its measurements."""
+) -> "ExperimentPoint":
+    """Describe one experimental point for the engine (without running it)."""
+    from repro.experiments.engine import ExperimentPoint
+
     settings = settings or RunSettings.from_env()
     config = system_for(
         topology,
@@ -90,12 +92,29 @@ def run_single(
         seed=settings.seed,
         noc_overrides=noc_overrides,
     )
-    chip = Chip(config)
-    return chip.run_experiment(
-        warmup_references=settings.warmup_references,
-        detailed_warmup_cycles=settings.detailed_warmup_cycles,
-        measure_cycles=settings.measure_cycles,
+    return ExperimentPoint(config=config, settings=settings)
+
+
+def run_single(
+    topology: Topology,
+    workload: WorkloadConfig,
+    num_cores: int = 64,
+    link_width_bits: int = 128,
+    settings: Optional[RunSettings] = None,
+    noc_overrides: Optional[dict] = None,
+) -> SimulationResults:
+    """Run one (topology, workload) point and return its measurements."""
+    from repro.experiments.engine import run_experiments
+
+    point = point_for(
+        topology,
+        workload,
+        num_cores=num_cores,
+        link_width_bits=link_width_bits,
+        settings=settings,
+        noc_overrides=noc_overrides,
     )
+    return run_experiments([point])[0]
 
 
 def run_topology_sweep(
@@ -104,20 +123,38 @@ def run_topology_sweep(
     num_cores: int = 64,
     settings: Optional[RunSettings] = None,
     link_widths: Optional[Dict[Topology, int]] = None,
+    jobs: Optional[int] = None,
+    executor: Optional["SweepExecutor"] = None,
 ) -> Dict[Tuple[str, Topology], SimulationResults]:
-    """Run the cross product of workloads and topologies."""
+    """Run the cross product of workloads and topologies.
+
+    The sweep goes through the experiment engine: points are deduplicated,
+    served from the on-disk result cache when possible, and the remainder
+    fans out over ``jobs`` worker processes (``REPRO_JOBS`` /
+    ``os.cpu_count()`` by default).  Pass an explicit ``executor`` to share
+    a cache or inspect :attr:`SweepExecutor.last_stats` afterwards.
+    """
+    from repro.experiments.engine import SweepExecutor
+
+    if executor is not None and jobs is not None:
+        raise ValueError("pass either jobs or an explicit executor, not both")
     settings = settings or RunSettings.from_env()
     link_widths = link_widths or {}
-    results: Dict[Tuple[str, Topology], SimulationResults] = {}
+    keys: list = []
+    points: list = []
     for name in workload_names:
         workload = presets.workload(name)
         for topology in topologies:
             width = link_widths.get(topology, 128)
-            results[(name, topology)] = run_single(
-                topology,
-                workload,
-                num_cores=num_cores,
-                link_width_bits=width,
-                settings=settings,
+            keys.append((name, topology))
+            points.append(
+                point_for(
+                    topology,
+                    workload,
+                    num_cores=num_cores,
+                    link_width_bits=width,
+                    settings=settings,
+                )
             )
-    return results
+    executor = executor or SweepExecutor(jobs=jobs)
+    return dict(zip(keys, executor.run(points)))

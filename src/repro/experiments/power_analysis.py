@@ -32,12 +32,15 @@ def run_power_analysis(
     num_cores: int = 64,
     settings: Optional[RunSettings] = None,
     energy_model: Optional[NocEnergyModel] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, NocPowerReport]]:
     """NoC power per (workload, topology) from recorded switching activity."""
     names = list(workload_names) if workload_names is not None else list(presets.WORKLOAD_NAMES)
     settings = settings or RunSettings.from_env()
     model = energy_model or NocEnergyModel()
-    results = run_topology_sweep(names, TOPOLOGIES, num_cores=num_cores, settings=settings)
+    results = run_topology_sweep(
+        names, TOPOLOGIES, num_cores=num_cores, settings=settings, jobs=jobs
+    )
     reports: Dict[str, Dict[str, NocPowerReport]] = {}
     for name in names:
         reports[name] = {}

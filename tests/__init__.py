@@ -1,0 +1,7 @@
+"""Test package.
+
+Being a real package (with this ``__init__.py``) means test modules import
+as ``tests.<name>`` and shared helpers import as ``tests._fixtures`` — an
+absolute name that a ``conftest.py`` in another collected directory (e.g.
+``benchmarks/``) can never shadow.
+"""

@@ -2,7 +2,9 @@
 
 The fixtures favour small, fast configurations (16 cores, small footprints,
 short windows) so the full suite stays quick while still exercising every
-subsystem end to end.
+subsystem end to end.  Reusable plain helpers (``small_system`` & friends)
+live in :mod:`tests._fixtures`; import them from there, never from
+``conftest`` (see that module's docstring for why).
 """
 
 from __future__ import annotations
@@ -10,13 +12,28 @@ from __future__ import annotations
 import pytest
 
 from repro.config import presets
-from repro.config.noc import NocConfig, Topology
 from repro.config.system import SystemConfig
+from repro.config.noc import Topology
 from repro.config.workload import WorkloadConfig
 from repro.sim.kernel import Simulator
 
+from tests._fixtures import small_system, small_workload as _small_workload
+
 KB = 1024
 MB = 1024 * KB
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_experiment_engine(tmp_path, monkeypatch):
+    """Keep tests off the user's result cache and on the serial path.
+
+    Every test gets a private ``REPRO_CACHE_DIR`` so cached results can
+    never leak between tests (or into ``~/.cache/repro``), and
+    ``REPRO_JOBS=1`` so sweeps stay serial unless a test explicitly asks
+    for workers.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    monkeypatch.setenv("REPRO_JOBS", "1")
 
 
 @pytest.fixture
@@ -28,28 +45,7 @@ def sim() -> Simulator:
 @pytest.fixture
 def small_workload() -> WorkloadConfig:
     """A fast synthetic workload for integration tests."""
-    return WorkloadConfig(
-        name="TestWorkload",
-        instruction_footprint_bytes=256 * KB,
-        hot_instruction_fraction=0.5,
-        dataset_bytes=8 * MB,
-        data_reuse_fraction=0.9,
-        shared_fraction=0.02,
-        shared_region_bytes=16 * KB,
-        write_fraction=0.3,
-        loads_per_instruction=0.3,
-        mean_block_instructions=12.0,
-        jump_probability=0.25,
-        issue_width=3,
-        mlp=2,
-        max_cores=64,
-    )
-
-
-def small_system(topology: Topology, num_cores: int = 16, **noc_kwargs) -> SystemConfig:
-    """A 16-core chip configuration suitable for quick end-to-end tests."""
-    noc = NocConfig(topology=topology, **noc_kwargs)
-    return SystemConfig(num_cores=num_cores, noc=noc, seed=3)
+    return _small_workload()
 
 
 @pytest.fixture

@@ -9,7 +9,7 @@ from repro.chip.tile import Tile
 from repro.config.noc import Topology
 from repro.noc.message import Message, MessageClass
 
-from conftest import small_system
+from tests._fixtures import small_system
 
 
 def run_small_chip(config, measure=1200):

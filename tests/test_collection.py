@@ -1,0 +1,30 @@
+"""Smoke test: the whole suite must collect cleanly.
+
+The seed repo shipped four test modules that failed at import time because
+``from conftest import small_system`` resolved to ``benchmarks/conftest.py``.
+This regression test runs collection in a clean subprocess so any future
+import-time breakage (shadowed modules, syntax errors, missing deps) fails
+one obvious test instead of silently truncating the suite.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_suite_collects_without_errors():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, "-m", "pytest", "--collect-only", "-q"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    summary = completed.stdout.strip().splitlines()[-1]
+    assert "collected" in summary and "error" not in summary.lower(), summary

@@ -1,0 +1,270 @@
+"""Tests for the parallel, cache-aware experiment engine."""
+
+import json
+import os
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.chip.chip import SimulationResults
+from repro.config import presets
+from repro.config.noc import Topology
+from repro.experiments.engine import (
+    CACHE_SCHEMA_VERSION,
+    ExperimentPoint,
+    ResultCache,
+    SweepExecutor,
+    resolve_jobs,
+    run_experiments,
+)
+from repro.experiments.harness import RunSettings, point_for, run_topology_sweep
+
+from tests._fixtures import TINY_SETTINGS
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def tiny_point(
+    topology=Topology.MESH,
+    workload_name="Web Search",
+    num_cores=16,
+    settings=TINY_SETTINGS,
+    **kwargs,
+) -> ExperimentPoint:
+    return point_for(
+        topology,
+        presets.workload(workload_name),
+        num_cores=num_cores,
+        settings=settings,
+        **kwargs,
+    )
+
+
+class TestExperimentPoint:
+    def test_requires_workload(self):
+        config = presets.baseline_system(Topology.MESH, num_cores=16)
+        with pytest.raises(ValueError):
+            ExperimentPoint(config=config, settings=TINY_SETTINGS)
+
+    def test_hash_is_stable_for_equal_points(self):
+        assert tiny_point().content_hash() == tiny_point().content_hash()
+
+    def test_hash_changes_with_settings(self):
+        longer = RunSettings(
+            warmup_references=300, detailed_warmup_cycles=200, measure_cycles=700
+        )
+        assert tiny_point().content_hash() != tiny_point(settings=longer).content_hash()
+
+    def test_hash_changes_with_config(self):
+        assert (
+            tiny_point().content_hash()
+            != tiny_point(topology=Topology.NOC_OUT).content_hash()
+        )
+        assert (
+            tiny_point().content_hash()
+            != tiny_point(noc_overrides={"mesh_link_latency": 2}).content_hash()
+        )
+
+    def test_hash_is_stable_across_processes(self):
+        """SHA-256 over canonical JSON must not depend on the interpreter run."""
+        code = (
+            "from repro.config import presets\n"
+            "from repro.config.noc import Topology\n"
+            "from repro.experiments.harness import RunSettings, point_for\n"
+            "settings = RunSettings(warmup_references=300, "
+            "detailed_warmup_cycles=200, measure_cycles=600)\n"
+            "point = point_for(Topology.MESH, presets.workload('Web Search'), "
+            "num_cores=16, settings=settings)\n"
+            "print(point.content_hash())\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        output = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+            env=env,
+        ).stdout.strip()
+        assert output == tiny_point().content_hash()
+
+    def test_point_is_picklable(self):
+        point = tiny_point()
+        clone = pickle.loads(pickle.dumps(point))
+        assert clone == point
+        assert clone.content_hash() == point.content_hash()
+
+    def test_describe_mentions_workload_and_topology(self):
+        assert "Web Search" in tiny_point().describe()
+        assert "mesh" in tiny_point().describe()
+
+
+class TestSimulationResultsSerialization:
+    def test_json_round_trip(self):
+        result = run_experiments([tiny_point()])[0]
+        restored = SimulationResults.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert restored == result
+        # JSON stringifies the int keys; from_dict must restore them.
+        assert all(isinstance(core, int) for core in restored.per_core_instructions)
+
+    def test_from_dict_ignores_unknown_keys(self):
+        result = run_experiments([tiny_point()])[0]
+        data = result.to_dict()
+        data["some_future_field"] = 123
+        assert SimulationResults.from_dict(data) == result
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = tiny_point()
+        assert cache.load(point) is None
+
+        executor = SweepExecutor(jobs=1, cache=cache)
+        (result,) = executor.run([point])
+        assert executor.last_stats.cache_misses == 1
+        assert executor.last_stats.simulations_run == 1
+
+        (again,) = executor.run([point])
+        assert again == result
+        assert executor.last_stats.cache_hits == 1
+        assert executor.last_stats.simulations_run == 0
+
+    def test_cache_invalidated_by_settings_change(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        executor = SweepExecutor(jobs=1, cache=cache)
+        executor.run([tiny_point()])
+        longer = RunSettings(
+            warmup_references=300, detailed_warmup_cycles=200, measure_cycles=700
+        )
+        executor.run([tiny_point(settings=longer)])
+        assert executor.last_stats.cache_hits == 0
+        assert executor.last_stats.simulations_run == 1
+
+    def test_cache_invalidated_by_config_change(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        executor = SweepExecutor(jobs=1, cache=cache)
+        executor.run([tiny_point()])
+        executor.run([tiny_point(link_width_bits=64)])
+        assert executor.last_stats.cache_hits == 0
+        assert executor.last_stats.simulations_run == 1
+
+    def test_corrupted_entry_is_discarded_and_recovered(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = tiny_point()
+        executor = SweepExecutor(jobs=1, cache=cache)
+        (result,) = executor.run([point])
+
+        path = cache.path_for(point)
+        path.write_text("{ this is not json")
+        assert cache.load(point) is None
+        assert not path.exists()  # corrupt entry deleted, not left to re-fail
+
+        (recovered,) = executor.run([point])
+        assert recovered == result
+        assert executor.last_stats.simulations_run == 1
+
+    @pytest.mark.parametrize(
+        "payload",
+        ["null", "[1, 2, 3]", '{"schema": 1, "result": [1, 2]}', '{"schema": 1}'],
+    )
+    def test_wrong_shaped_json_is_a_miss(self, tmp_path, payload):
+        """Valid JSON of the wrong shape must read as a miss, not crash."""
+        cache = ResultCache(tmp_path)
+        point = tiny_point()
+        path = cache.path_for(point)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(payload)
+        assert cache.load(point) is None
+        assert not path.exists()
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = tiny_point()
+        SweepExecutor(jobs=1, cache=cache).run([point])
+        path = cache.path_for(point)
+        payload = json.loads(path.read_text())
+        payload["schema"] = CACHE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        assert cache.load(point) is None
+
+    def test_cache_dir_env_var(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert ResultCache().root == tmp_path / "custom"
+
+    def test_cache_disabled_by_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert SweepExecutor(jobs=1).cache is None
+
+
+class TestSweepExecutor:
+    def test_jobs_resolution(self, monkeypatch):
+        assert resolve_jobs(3) == 3
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs() == 5
+        monkeypatch.setenv("REPRO_JOBS", "zero")
+        with pytest.raises(ValueError):
+            resolve_jobs()
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+    def test_duplicate_points_simulated_once(self, tmp_path):
+        executor = SweepExecutor(jobs=1, cache=ResultCache(tmp_path))
+        first, second = executor.run([tiny_point(), tiny_point()])
+        assert first == second
+        assert executor.last_stats.simulations_run == 1
+
+    def test_results_keep_point_order(self, tmp_path):
+        points = [
+            tiny_point(topology=Topology.MESH),
+            tiny_point(topology=Topology.NOC_OUT),
+            tiny_point(topology=Topology.IDEAL),
+        ]
+        results = SweepExecutor(jobs=1, cache=ResultCache(tmp_path)).run(points)
+        assert [r.topology for r in results] == ["mesh", "noc_out", "ideal"]
+
+    def test_parallel_matches_serial(self, tmp_path):
+        """Same seed, REPRO_JOBS=1 vs 4 workers: bit-identical results."""
+        points = [
+            tiny_point(topology=topology, workload_name=name)
+            for name in ("Web Search", "Data Serving")
+            for topology in (Topology.MESH, Topology.NOC_OUT)
+        ]
+        serial = SweepExecutor(jobs=1, use_cache=False).run(points)
+        parallel = SweepExecutor(jobs=4, use_cache=False).run(points)
+        assert serial == parallel
+
+    def test_sweep_rejects_jobs_with_explicit_executor(self, tmp_path):
+        executor = SweepExecutor(jobs=1, cache=ResultCache(tmp_path))
+        with pytest.raises(ValueError):
+            run_topology_sweep(
+                ["Web Search"],
+                (Topology.MESH,),
+                num_cores=16,
+                settings=TINY_SETTINGS,
+                jobs=2,
+                executor=executor,
+            )
+
+    def test_second_sweep_served_entirely_from_cache(self, tmp_path):
+        """2 workloads x 3 topologies, rerun must run zero new simulations."""
+        cache = ResultCache(tmp_path)
+        names = ["Web Search", "Data Serving"]
+        topologies = (Topology.MESH, Topology.FLATTENED_BUTTERFLY, Topology.NOC_OUT)
+
+        executor = SweepExecutor(jobs=4, cache=cache)
+        first = run_topology_sweep(
+            names, topologies, num_cores=16, settings=TINY_SETTINGS, executor=executor
+        )
+        assert executor.last_stats.simulations_run == len(names) * len(topologies)
+
+        executor = SweepExecutor(jobs=4, cache=cache)
+        second = run_topology_sweep(
+            names, topologies, num_cores=16, settings=TINY_SETTINGS, executor=executor
+        )
+        assert executor.last_stats.simulations_run == 0
+        assert executor.last_stats.cache_hits == len(names) * len(topologies)
+        assert second == first

@@ -9,7 +9,7 @@ from repro.noc.mesh import MeshNetwork
 from repro.noc.message import Message, MessageClass, control_message_bits, data_message_bits
 from repro.sim.kernel import Simulator
 
-from conftest import small_system
+from tests._fixtures import small_system
 
 
 def grid_coords(cols, rows):

@@ -9,7 +9,7 @@ from repro.core.nocout import NocOutNetwork
 from repro.noc.message import Message, MessageClass, control_message_bits, data_message_bits
 from repro.sim.kernel import Simulator
 
-from conftest import small_system
+from tests._fixtures import small_system
 
 
 def build_nocout(num_cores=16, **noc_kwargs):

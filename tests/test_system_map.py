@@ -5,7 +5,7 @@ import pytest
 from repro.chip.system_map import NocOutSystemMap, TiledSystemMap, build_system_map
 from repro.config.noc import Topology
 
-from conftest import small_system
+from tests._fixtures import small_system
 
 
 class TestTiledSystemMap:
