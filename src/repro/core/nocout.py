@@ -89,7 +89,7 @@ class NocOutNetwork(Network):
 
     def _cores_in_group(self, column: int, rows: Tuple[int, ...]) -> List[int]:
         """Core node ids at (column, row) for each row, in the given order."""
-        by_position = {pos: node for node, pos in self.core_nodes.items()}
+        by_position = self._core_by_position
         cores = []
         for row in rows:
             position = (column, row)
@@ -101,6 +101,10 @@ class NocOutNetwork(Network):
         concentration = self.noc.tree_concentration
         hop_mm = self.floorplan.tree_hop_length_mm()
         all_destinations = list(self.llc_nodes) + list(self.mc_nodes) + list(self.core_nodes)
+        # Inverted once here: rebuilding it per tree group made chip
+        # construction quadratic in the core count, which matters for the
+        # 256/512-core sweeps the roadmap targets.
+        self._core_by_position = {pos: node for node, pos in self.core_nodes.items()}
 
         for group in self.floorplan.tree_groups():
             cores = self._cores_in_group(group.column, group.core_rows)

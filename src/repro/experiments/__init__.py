@@ -13,6 +13,7 @@ worker processes (``REPRO_JOBS``).  See ``docs/experiments.md``.
 """
 
 from repro.experiments.engine import (
+    MODEL_VERSION,
     ExperimentPoint,
     ResultCache,
     SweepExecutor,
@@ -37,6 +38,7 @@ from repro.experiments import (
 )
 
 __all__ = [
+    "MODEL_VERSION",
     "ExperimentPoint",
     "ResultCache",
     "RunSettings",

@@ -54,7 +54,23 @@ CACHE_ENV_VAR = "REPRO_CACHE"
 
 #: Bump whenever the hash payload or the cache file layout changes; old
 #: entries then read as misses instead of deserialisation errors.
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
+
+#: Version of the *simulator model itself*, hashed into every cache key.
+#:
+#: The key derived from :meth:`ExperimentPoint.canonical_dict` covers the
+#: full configuration and run settings but cannot see simulator source
+#: changes, so without this constant a behavioural change to the kernel,
+#: routers, caches or cores would silently serve stale results out of
+#: ``REPRO_CACHE_DIR``.  Policy: **bump MODEL_VERSION in the same commit as
+#: any change that alters simulation outputs** (timing, protocol, workload
+#: generation, RNG draws...); purely cosmetic refactors keep it.  Bumping
+#: invalidates every cached result, which is exactly the point.
+#:
+#: History:
+#:   1 — seed model (poll-driven routers, stale-wake double ticks).
+#:   2 — event-driven router/NI wake-ups; Component.wake stale-tick fix.
+MODEL_VERSION = 2
 
 
 # --------------------------------------------------------------------- #
@@ -91,6 +107,7 @@ class ExperimentPoint:
         """JSON-stable description of the point (what the hash covers)."""
         return {
             "schema": CACHE_SCHEMA_VERSION,
+            "model": MODEL_VERSION,
             "config": _canonical(self.config),
             "settings": _canonical(self.settings),
         }

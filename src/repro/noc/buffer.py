@@ -12,13 +12,23 @@ round-trip credit time".
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.noc.message import MessageClass, Packet
 
 
 class VirtualChannelBuffer:
     """One virtual channel: a FIFO of packets with flit-granular capacity."""
+
+    __slots__ = (
+        "name",
+        "capacity_flits",
+        "_reserved_flits",
+        "_occupied_flits",
+        "_queue",
+        "_space_waiters",
+        "head_route",
+    )
 
     def __init__(self, capacity_flits: int, name: str = "vc") -> None:
         if capacity_flits < 1:
@@ -28,6 +38,12 @@ class VirtualChannelBuffer:
         self._reserved_flits = 0
         self._occupied_flits = 0
         self._queue: deque = deque()
+        #: One-shot credit listeners: callables invoked (and cleared) when a
+        #: reservation is released, i.e. when space can actually free up.
+        self._space_waiters: List[Callable[[], None]] = []
+        #: Routing decision cached for the current head packet, managed by
+        #: the owning router (``(packet, out_index, out_port, downstream_vc)``).
+        self.head_route: Optional[tuple] = None
 
     # ------------------------------------------------------------------ #
     def can_reserve(self, flits: int) -> bool:
@@ -59,7 +75,14 @@ class VirtualChannelBuffer:
         return self._queue[0] if self._queue else None
 
     def pop(self) -> Packet:
-        """Remove the head packet and release its reservation."""
+        """Remove the head packet, release its reservation, notify waiters.
+
+        Releasing a reservation is the only way this VC can gain space, so
+        ``pop`` is the single credit-return point: every waiter registered
+        via :meth:`wait_for_space` is woken exactly here (and the waiter
+        list cleared), which lets a blocked upstream component sleep instead
+        of polling for credit every cycle.
+        """
         if not self._queue:
             raise RuntimeError(f"{self.name}: pop from empty VC")
         packet = self._queue.popleft()
@@ -67,7 +90,26 @@ class VirtualChannelBuffer:
         self._reserved_flits -= packet.num_flits
         if self._reserved_flits < 0 or self._occupied_flits < 0:
             raise RuntimeError(f"{self.name}: negative occupancy (flow-control bug)")
+        self.head_route = None
+        waiters = self._space_waiters
+        if waiters:
+            self._space_waiters = []
+            for waiter in waiters:
+                waiter()
         return packet
+
+    def wait_for_space(self, waiter: Callable[[], None]) -> None:
+        """Register a one-shot credit listener (deduplicated).
+
+        ``waiter`` is invoked the next time a reservation is released via
+        :meth:`pop`.  Upstream components that find this VC full register
+        their (bound, reused) wake callback instead of re-polling; a waiter
+        already registered is not added twice, so a component blocked over
+        many cycles costs no queue growth and no kernel events at all.
+        """
+        waiters = self._space_waiters
+        if waiter not in waiters:
+            waiters.append(waiter)
 
     # ------------------------------------------------------------------ #
     @property

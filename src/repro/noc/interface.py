@@ -40,6 +40,12 @@ class NetworkInterface(Component, PacketSink):
         self.input_ports = [unbounded_input_port(name=f"{name}.eject")]
         self._router: Optional[Router] = None
         self._router_port: Optional[int] = None
+        # Per-class (vc_index, vc) resolution on the attached router input
+        # port, precomputed at attach time for the injection hot loop.
+        self._inject_vcs: list = []
+        # Stable bound wake callback for VC credit listeners (deduplicated
+        # by VirtualChannelBuffer.wait_for_space across blocked ticks).
+        self._credit_wake = self.wake
         # Statistics / activity
         self.messages_injected = 0
         self.messages_delivered = 0
@@ -50,6 +56,11 @@ class NetworkInterface(Component, PacketSink):
         """Declare the router input port this interface injects into."""
         self._router = router
         self._router_port = router_in_port
+        in_port = router.input_ports[router_in_port]
+        self._inject_vcs = [
+            (msg_class, in_port.vc_index_for(msg_class), in_port.vc_for(msg_class))
+            for msg_class in (MessageClass.RESPONSE, MessageClass.SNOOP, MessageClass.REQUEST)
+        ]
 
     # ------------------------------------------------------------------ #
     # Injection
@@ -64,29 +75,33 @@ class NetworkInterface(Component, PacketSink):
         return packet
 
     def _tick(self) -> None:
+        """Inject up to one queued packet per message class.
+
+        Event-driven counterpart of the old poll-every-cycle loop: a class
+        whose head packet fits reserves downstream space and re-wakes next
+        cycle only if more packets queue behind it; a class blocked on a
+        full VC registers this interface's wake callback with that VC and
+        sleeps until its next ``pop`` returns credit.
+        """
         if self._router is None:
             raise RuntimeError(f"{self.name}: interface not attached to a router")
-        pending = False
-        in_port = self._router.input_ports[self._router_port]
-        for msg_class in (MessageClass.RESPONSE, MessageClass.SNOOP, MessageClass.REQUEST):
+        progressed = False
+        for msg_class, vc_index, vc in self._inject_vcs:
             queue = self._inject_queues[msg_class]
             if not queue:
                 continue
             packet = queue[0]
-            vc_index = in_port.vc_index_for(msg_class)
-            vc = in_port.vcs[vc_index]
             if vc.can_reserve(packet.num_flits):
                 vc.reserve(packet.num_flits)
                 queue.popleft()
-                router = self._router
-                port = self._router_port
-                self.sim.schedule(
-                    lambda p=packet, r=router, ip=port, v=vc_index: r.receive_packet(p, ip, v),
-                    self.injection_latency,
+                self.sim.schedule_delivery(
+                    self._router, packet, self._router_port, vc_index, self.injection_latency
                 )
-            if queue:
-                pending = True
-        if pending:
+                if queue:
+                    progressed = True
+            else:
+                vc.wait_for_space(self._credit_wake)
+        if progressed:
             self.wake(1)
 
     @property
@@ -102,7 +117,7 @@ class NetworkInterface(Component, PacketSink):
         vc.push(packet)
         vc.pop()  # the ejection port drains immediately; capacity is unbounded
         serialization = max(0, packet.num_flits - 1)
-        self.sim.schedule(lambda p=packet: self._deliver(p), serialization)
+        self.sim.schedule_call(self._deliver, (packet,), serialization)
 
     def _deliver(self, packet: Packet) -> None:
         self.messages_delivered += 1

@@ -83,8 +83,8 @@ class Network(Component):
         self.messages_sent.add()
         if message.src == message.dst:
             self.local_deliveries.add()
-            self.sim.schedule(
-                lambda m=message: self._deliver_local(m), self.LOCAL_DELIVERY_LATENCY
+            self.sim.schedule_call(
+                self._deliver_local, (message,), self.LOCAL_DELIVERY_LATENCY
             )
             return
         self._inject(message)

@@ -15,10 +15,22 @@ buffer at ``T + pipeline_latency + link_latency``.  The output port is held
 busy for ``num_flits`` cycles, which models serialization / bandwidth; a
 final serialization charge is applied once at the ejection interface
 (virtual cut-through behaviour).
+
+Wake protocol
+-------------
+Routers are fully event-driven: an arbitration round runs only when an
+event could let a packet move.  A router is woken by (1) a packet arriving
+on one of its input VCs, (2) its own forward one cycle earlier (the next
+head or an arbitration loser may now move), (3) a busy output port's
+``busy_until`` expiring, or (4) a credit listener firing when a downstream
+VC it found full releases a reservation (``VirtualChannelBuffer.pop``).  A
+router whose heads are all credit-blocked therefore schedules **zero**
+kernel events until credit returns; see ``docs/performance.md``.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Callable, Dict, List, Optional
 
 from repro.sim.component import Component
@@ -89,6 +101,15 @@ class Router(Component, PacketSink):
         self._arbiter_factory = arbiter_factory
         self._arbiters: List[Arbiter] = []
         self._local_input_ports: set = set()
+        # One stable bound method reused as the credit listener, so
+        # VirtualChannelBuffer.wait_for_space can deduplicate registrations
+        # across ticks without allocating a fresh callable each time.
+        self._credit_wake = self.wake
+        # Occupied input VCs, kept sorted by (in_port, vc_index) so ticks
+        # scan only buffers that actually hold packets (scan order — and
+        # therefore arbitration candidate order — matches a full sweep).
+        self._active_vcs: List[tuple] = []
+        self._active_keys: set = set()
         # Activity counters consumed by the energy model.
         self.flits_switched = 0
         self.packets_switched = 0
@@ -146,43 +167,100 @@ class Router(Component, PacketSink):
         buffer = self.input_ports[in_port].vcs[vc_index]
         buffer.push(packet)
         self.buffer_flit_writes += packet.num_flits
+        key = (in_port, vc_index)
+        if key not in self._active_keys:
+            self._active_keys.add(key)
+            insort(
+                self._active_vcs,
+                (in_port, vc_index, buffer, in_port in self._local_input_ports),
+            )
         self.wake(0)
 
     # ------------------------------------------------------------------ #
     # Per-cycle switching
     # ------------------------------------------------------------------ #
+    def _head_route(self, vc, packet):
+        """Cached routing decision for the head packet of input VC ``vc``.
+
+        Returns ``(out_index, out_port, downstream_vc_index, downstream_vc)``,
+        recomputed only when the head packet changes (the cache is cleared
+        by ``VirtualChannelBuffer.pop``).  The table lookup itself is cheap,
+        but the downstream-port/VC resolution behind it is three attribute
+        chases plus two dict lookups per head per tick, which adds up when a
+        blocked head is re-examined across many arbitration rounds.
+        """
+        cached = vc.head_route
+        if cached is not None and cached[0] is packet:
+            return cached
+        try:
+            out_index = self.route_table[packet.dst]
+        except KeyError:
+            raise KeyError(f"{self.name}: no route to node {packet.dst}") from None
+        out_port = self.output_ports[out_index]
+        downstream_port = out_port.downstream.input_ports[out_port.downstream_port]
+        downstream_vc_index = downstream_port.vc_index_for(packet.msg_class)
+        cached = (
+            packet,
+            out_index,
+            out_port,
+            downstream_vc_index,
+            downstream_port.vcs[downstream_vc_index],
+        )
+        vc.head_route = cached
+        return cached
+
     def _tick(self) -> None:
+        """One arbitration round, scheduling the *next* round event-driven.
+
+        Unlike the original poll-every-cycle loop (which re-ticked whenever
+        anything was buffered), a blocked router goes back to sleep and is
+        re-awoken only by an event that can actually unblock it:
+
+        * a head blocked on a busy output port wakes when ``busy_until``
+          expires (earliest such expiry among blocked heads);
+        * a head blocked on downstream credit registers the router's wake
+          callback with the downstream VC, which fires on its next ``pop``;
+        * forwarding a packet wakes the router one cycle later, when the
+          freshly exposed head (and any arbitration losers) may move.
+
+        A fully credit-blocked router therefore schedules zero kernel
+        events until credit returns.
+        """
         now = self.sim.cycle
         candidates_by_output: Dict[int, List[ArbitrationCandidate]] = {}
-        any_buffered = False
-        for in_index, in_port in enumerate(self.input_ports):
-            for vc_index, vc in enumerate(in_port.vcs):
-                packet = vc.peek()
-                if packet is None:
-                    continue
-                any_buffered = True
-                out_index = self.route(packet)
-                out_port = self.output_ports[out_index]
-                if out_port.busy_until > now:
-                    continue
-                downstream_vc = out_port.downstream_input().vc_for(packet.msg_class)
-                if not downstream_vc.can_reserve(packet.num_flits):
-                    continue
-                candidates_by_output.setdefault(out_index, []).append(
-                    ArbitrationCandidate(
-                        in_port=in_index,
-                        vc_index=vc_index,
-                        buffer=vc,
-                        packet=packet,
-                        is_local=in_index in self._local_input_ports,
-                    )
-                )
+        next_busy_free = 0
+        forwarded = False
+        for in_index, vc_index, vc, is_local in self._active_vcs:
+            packet = vc.peek()
+            if packet is None:
+                # Defensive only: _forward removes a VC from the active list
+                # eagerly when it drains, so simulation never reaches this.
+                continue
+            cached = vc.head_route
+            if cached is None or cached[0] is not packet:
+                cached = self._head_route(vc, packet)
+            out_index = cached[1]
+            busy_until = cached[2].busy_until
+            if busy_until > now:
+                if next_busy_free == 0 or busy_until < next_busy_free:
+                    next_busy_free = busy_until
+                continue
+            downstream_vc = cached[4]
+            if not downstream_vc.can_reserve(packet.num_flits):
+                downstream_vc.wait_for_space(self._credit_wake)
+                continue
+            candidates_by_output.setdefault(out_index, []).append(
+                ArbitrationCandidate(in_index, vc_index, vc, packet, is_local)
+            )
         for out_index, candidates in candidates_by_output.items():
             winner = self._arbiters[out_index].choose(candidates)
             if winner is not None:
                 self._forward(winner, self.output_ports[out_index], now)
-        if any_buffered:
+                forwarded = True
+        if forwarded:
             self.wake(1)
+        elif next_busy_free > now:
+            self.wake(next_busy_free - now)
 
     def _collect_candidates(self, out_index: int) -> List[ArbitrationCandidate]:
         """Candidates competing for one output port (used by unit tests)."""
@@ -211,26 +289,31 @@ class Router(Component, PacketSink):
         return candidates
 
     def _forward(self, winner: ArbitrationCandidate, out_port: OutputPort, now: int) -> None:
-        packet = winner.buffer.pop()
-        downstream_port = out_port.downstream_input()
-        downstream_vc_index = downstream_port.vc_index_for(packet.msg_class)
-        downstream_port.vcs[downstream_vc_index].reserve(packet.num_flits)
+        vc = winner.buffer
+        packet = winner.packet
+        _pkt, _out_index, _out_port, downstream_vc_index, downstream_vc = self._head_route(
+            vc, packet
+        )
+        vc.pop()
+        if vc.empty:
+            self._active_keys.discard((winner.in_port, winner.vc_index))
+            self._active_vcs.remove((winner.in_port, winner.vc_index, vc, winner.is_local))
+        downstream_vc.reserve(packet.num_flits)
 
         packet.hops += 1
-        self.flits_switched += packet.num_flits
+        num_flits = packet.num_flits
+        self.flits_switched += num_flits
         self.packets_switched += 1
-        out_port.flits_sent += packet.num_flits
+        out_port.flits_sent += num_flits
         out_port.packets_sent += 1
-        out_port.busy_until = now + packet.num_flits
+        out_port.busy_until = now + num_flits
 
-        arrival = now + self.pipeline_latency + out_port.link_latency
-        downstream = out_port.downstream
-        in_port = out_port.downstream_port
-        self.sim.schedule_at(
-            lambda p=packet, d=downstream, ip=in_port, vc=downstream_vc_index: d.receive_packet(
-                p, ip, vc
-            ),
-            arrival,
+        self.sim.schedule_delivery(
+            out_port.downstream,
+            packet,
+            out_port.downstream_port,
+            downstream_vc_index,
+            self.pipeline_latency + out_port.link_latency,
         )
 
     def _has_buffered_packets(self) -> bool:

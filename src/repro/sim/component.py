@@ -12,8 +12,9 @@ class Component:
     Components use the *wake/tick* idiom: anything that hands work to a
     component (a link delivering a packet, a core issuing a request) calls
     :meth:`wake`, which schedules a single :meth:`_tick` callback for the
-    requested cycle.  Duplicate wake-ups for the same cycle are coalesced so
-    that a component ticks at most once per cycle.
+    requested cycle.  Duplicate wake-ups for a pending target are coalesced;
+    only a wake requested after the cycle's tick already ran (e.g. a credit
+    listener firing mid-cycle) re-ticks the component within that cycle.
     """
 
     def __init__(self, sim: Simulator, name: str) -> None:
@@ -24,19 +25,33 @@ class Component:
 
     # ------------------------------------------------------------------ #
     def wake(self, delay: int = 0) -> None:
-        """Ensure :meth:`_tick` runs ``delay`` cycles from now (coalesced)."""
-        target = self.sim.cycle + delay
-        if self._next_wake == target:
-            return
-        # Only suppress if an earlier-or-equal wake is already pending.
-        if self._next_wake >= self.sim.cycle and self._next_wake <= target:
+        """Ensure :meth:`_tick` runs ``delay`` cycles from now (coalesced).
+
+        Duplicate requests while a wake is pending coalesce: an
+        earlier-or-equal pending wake absorbs the new request, and
+        requesting an *earlier* wake supersedes a later pending one
+        (``_next_wake`` moves forward; the superseded callback, still in
+        the kernel queue, is recognised as stale and dropped by
+        :meth:`_run_tick` when it fires).  A wake requested *after* the
+        current cycle's tick has already run schedules a fresh tick — for
+        ``wake(0)`` within the same cycle.  That re-tick is load-bearing:
+        it is what lets a credit listener fired mid-cycle (a downstream
+        ``pop``) re-run a router that already ticked this cycle, so freed
+        space can be claimed the cycle it appears.
+        """
+        now = self.sim.cycle
+        target = now + delay
+        pending = self._next_wake
+        # Suppress only if an earlier-or-equal wake is already pending.
+        if now <= pending <= target:
             return
         self._next_wake = target
         self.sim.schedule_at(self._run_tick, target)
 
     def _run_tick(self) -> None:
-        if self._next_wake == self.sim.cycle:
-            self._next_wake = -1
+        if self._next_wake != self.sim.cycle:
+            return  # stale callback superseded by an earlier wake request
+        self._next_wake = -1
         self._tick()
 
     def _tick(self) -> None:

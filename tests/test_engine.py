@@ -14,6 +14,7 @@ from repro.config import presets
 from repro.config.noc import Topology
 from repro.experiments.engine import (
     CACHE_SCHEMA_VERSION,
+    MODEL_VERSION,
     ExperimentPoint,
     ResultCache,
     SweepExecutor,
@@ -51,6 +52,23 @@ class TestExperimentPoint:
 
     def test_hash_is_stable_for_equal_points(self):
         assert tiny_point().content_hash() == tiny_point().content_hash()
+
+    def test_hash_payload_covers_model_version(self):
+        """Simulator behaviour changes must invalidate cached results.
+
+        The config/settings hash cannot see simulator source edits, so the
+        canonical payload carries ``MODEL_VERSION``; bumping it (the policy
+        is: in the same commit as any output-changing model edit) turns
+        every stale cache entry into a miss.
+        """
+        payload = tiny_point().canonical_dict()
+        assert payload["model"] == MODEL_VERSION
+        assert payload["schema"] == CACHE_SCHEMA_VERSION
+
+    def test_hash_changes_with_model_version(self, monkeypatch):
+        before = tiny_point().content_hash()
+        monkeypatch.setattr("repro.experiments.engine.MODEL_VERSION", MODEL_VERSION + 1)
+        assert tiny_point().content_hash() != before
 
     def test_hash_changes_with_settings(self):
         longer = RunSettings(

@@ -63,6 +63,76 @@ class TestVirtualChannelBuffer:
         assert not vc.can_reserve(1)
 
 
+class TestSpaceWaiters:
+    def _full_vc(self, flits=5):
+        vc = VirtualChannelBuffer(capacity_flits=flits)
+        packet = make_packet(flits)
+        vc.reserve(flits)
+        vc.push(packet)
+        return vc
+
+    def test_waiter_fires_once_on_pop(self):
+        vc = self._full_vc()
+        fired = []
+        vc.wait_for_space(lambda: fired.append(1))
+        assert fired == []
+        vc.pop()
+        assert fired == [1]
+
+    def test_waiter_is_one_shot(self):
+        vc = VirtualChannelBuffer(capacity_flits=10)
+        for _ in range(2):
+            vc.reserve(5)
+            vc.push(make_packet(5))
+        fired = []
+        vc.wait_for_space(lambda: fired.append(1))
+        vc.pop()
+        vc.pop()
+        assert fired == [1]  # the second pop has no registered waiter left
+
+    def test_waiters_are_deduplicated(self):
+        vc = self._full_vc()
+        fired = []
+
+        def waiter():
+            fired.append(1)
+
+        vc.wait_for_space(waiter)
+        vc.wait_for_space(waiter)
+        vc.pop()
+        assert fired == [1]
+
+    def test_multiple_distinct_waiters_fire_in_registration_order(self):
+        vc = self._full_vc()
+        fired = []
+        vc.wait_for_space(lambda: fired.append("a"))
+        vc.wait_for_space(lambda: fired.append("b"))
+        vc.pop()
+        assert fired == ["a", "b"]
+
+    def test_waiter_may_rearm_during_notification(self):
+        vc = VirtualChannelBuffer(capacity_flits=10)
+        for _ in range(2):
+            vc.reserve(5)
+            vc.push(make_packet(5))
+        fired = []
+
+        def waiter():
+            fired.append(len(fired))
+            vc.wait_for_space(waiter)  # still blocked: re-register
+
+        vc.wait_for_space(waiter)
+        vc.pop()
+        vc.pop()
+        assert fired == [0, 1]
+
+    def test_pop_clears_cached_head_route(self):
+        vc = self._full_vc()
+        vc.head_route = ("sentinel",)
+        vc.pop()
+        assert vc.head_route is None
+
+
 class TestInputPort:
     def test_default_vc_map_assigns_one_vc_per_class(self):
         port = InputPort(num_vcs=3, vc_depth_flits=5)

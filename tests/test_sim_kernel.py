@@ -115,6 +115,94 @@ def test_run_to_completion_respects_max_cycles():
     assert sim.pending_events == 1
 
 
+def test_run_to_completion_with_limit_advances_clock_to_limit():
+    """Regression: bounded run_to_completion left the clock at the last event.
+
+    ``run_until`` always advances the clock to the horizon; the bounded
+    form must do the same so back-to-back calls observe a consistent clock
+    (a second ``run_to_completion(max_cycles=N)`` call previously re-spanned
+    part of the first call's window).
+    """
+    sim = Simulator()
+    sim.schedule(lambda: None, delay=5)
+    sim.schedule(lambda: None, delay=500)
+    sim.run_to_completion(max_cycles=100)
+    assert sim.cycle == 100
+    sim.run_to_completion(max_cycles=100)
+    assert sim.cycle == 200
+    assert sim.pending_events == 1  # the cycle-500 event is still out there
+
+
+def test_run_to_completion_with_limit_advances_clock_when_queue_drains():
+    sim = Simulator()
+    sim.schedule(lambda: None, delay=5)
+    sim.run_to_completion(max_cycles=100)
+    assert sim.cycle == 100
+
+
+def test_run_to_completion_without_limit_rests_at_last_event():
+    sim = Simulator()
+    sim.schedule(lambda: None, delay=7)
+    sim.run_to_completion()
+    assert sim.cycle == 7
+
+
+def test_schedule_call_passes_arguments():
+    sim = Simulator()
+    seen = []
+    sim.schedule_call(lambda a, b: seen.append((a, b, sim.cycle)), ("x", 2), delay=4)
+    sim.run(10)
+    assert seen == [("x", 2, 4)]
+
+
+def test_schedule_call_rejects_negative_delay():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_call(lambda: None, (), delay=-1)
+
+
+def test_schedule_delivery_invokes_receive_packet():
+    sim = Simulator()
+
+    class Sink:
+        def __init__(self):
+            self.received = []
+
+        def receive_packet(self, packet, in_port, vc_index):
+            self.received.append((packet, in_port, vc_index, sim.cycle))
+
+    sink = Sink()
+    sim.schedule_delivery(sink, "pkt", 2, 1, delay=3)
+    sim.run(5)
+    assert sink.received == [("pkt", 2, 1, 3)]
+
+
+def test_schedule_delivery_rejects_negative_delay():
+    sim = Simulator()
+
+    class Sink:
+        def receive_packet(self, packet, in_port, vc_index):
+            pass
+
+    with pytest.raises(SimulationError):
+        sim.schedule_delivery(Sink(), "pkt", 0, 0, delay=-2)
+
+
+def test_mixed_event_kinds_preserve_schedule_order():
+    sim = Simulator()
+    order = []
+
+    class Sink:
+        def receive_packet(self, packet, in_port, vc_index):
+            order.append("delivery")
+
+    sim.schedule(lambda: order.append("plain"), delay=2)
+    sim.schedule_delivery(Sink(), None, 0, 0, delay=2)
+    sim.schedule_call(lambda tag: order.append(tag), ("call",), delay=2)
+    sim.run(5)
+    assert order == ["plain", "delivery", "call"]
+
+
 def test_derived_rng_is_deterministic():
     sim_a = Simulator(seed=11)
     sim_b = Simulator(seed=11)
