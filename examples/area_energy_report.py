@@ -3,19 +3,21 @@
 
 Regenerates Figure 8 (area breakdown) from the static topology descriptors
 and Section 6.4 (NoC power) from the switching activity of a short Data
-Serving run on each organization.
+Serving run on each organization.  The power sweep is one ``SweepSpec``
+over the topology axis; the energy model reads each record's full
+``SimulationResults`` (``record.result.network_activity``).
 
 Run with::
 
     python examples/area_energy_report.py
 """
 
-from repro import NocAreaModel, NocEnergyModel, presets
+from repro import NocAreaModel, NocEnergyModel, SweepSpec, run_sweep
 from repro.analysis.report import ReportTable
-from repro.config.noc import Topology
-from repro.experiments import RunSettings, run_topology_sweep
+from repro.experiments import RunSettings
+from repro.scenarios import build_system
 
-TOPOLOGIES = (Topology.MESH, Topology.FLATTENED_BUTTERFLY, Topology.NOC_OUT)
+TOPOLOGY_NAMES = ("mesh", "flattened_butterfly", "noc_out")
 
 
 def area_report() -> ReportTable:
@@ -24,10 +26,10 @@ def area_report() -> ReportTable:
         ["Organization", "Links", "Buffers", "Crossbars", "Total (mm2)"],
         title="Figure 8: NoC area breakdown",
     )
-    for topology in TOPOLOGIES:
-        breakdown = model.breakdown(presets.baseline_system(topology))
+    for name in TOPOLOGY_NAMES:
+        breakdown = model.breakdown(build_system(name))
         table.add_row(
-            topology.value,
+            name,
             breakdown.links_mm2,
             breakdown.buffers_mm2,
             breakdown.crossbars_mm2,
@@ -38,21 +40,24 @@ def area_report() -> ReportTable:
 
 def power_report() -> ReportTable:
     energy_model = NocEnergyModel()
-    workload = presets.workload("Data Serving")
     table = ReportTable(
         ["Organization", "NoC power (W)", "Link share"],
         title="Section 6.4: NoC power on Data Serving",
     )
-    settings = RunSettings(
-        warmup_references=2000, detailed_warmup_cycles=800, measure_cycles=4000
+    spec = SweepSpec(
+        axes={"topology": TOPOLOGY_NAMES},
+        settings=RunSettings(
+            warmup_references=2000, detailed_warmup_cycles=800, measure_cycles=4000
+        ),
+        fixed={"workload": "Data Serving"},
     )
     # One engine batch: cached across invocations, parallel across topologies.
-    sweep = run_topology_sweep([workload.name], TOPOLOGIES, settings=settings)
-    for topology in TOPOLOGIES:
-        results = sweep[(workload.name, topology)]
-        report = energy_model.report(results.network_activity, results.cycles)
+    results = run_sweep(spec)
+    for name in TOPOLOGY_NAMES:
+        record = results.filter(topology=name)[0]
+        report = energy_model.report(record.result.network_activity, record.result.cycles)
         link_share = report.link_energy_j / report.total_energy_j if report.total_energy_j else 0.0
-        table.add_row(topology.value, report.total_power_w, f"{100 * link_share:.0f}%")
+        table.add_row(name, report.total_power_w, f"{100 * link_share:.0f}%")
     return table
 
 

@@ -5,6 +5,12 @@ This example builds the paper's proposed 64-core NOC-Out organization,
 runs the Web Search workload for a short measurement window and prints the
 headline statistics (throughput, network latency, LLC behaviour).
 
+This is the lowest-level way to run one simulation.  For anything shaped
+like a sweep — several workloads, fabrics or core counts — declare a
+``SweepSpec`` and use ``run_sweep`` instead (see ``README.md`` and
+``examples/scaling_study.py``): you get parallelism, caching and tidy
+result records for free.
+
 Run with::
 
     python examples/quickstart.py

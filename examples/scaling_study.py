@@ -1,57 +1,62 @@
 #!/usr/bin/env python3
-"""Core-count scaling study (a miniature Figure 1).
+"""Core-count scaling study (a miniature Figure 1), rendered incrementally.
 
 Shows how per-core performance degrades as the chip grows from 1 to 64
 cores when the interconnect is an ideal (wire-only) fabric versus a mesh,
 using the Data Serving workload.  The growing gap is the motivation for
 NOC-Out's delay-optimised organization.
 
-All eight (fabric, core count) points are described up front and handed to
-the experiment engine in one batch: uncached points fan out over
-``REPRO_JOBS`` worker processes and finished points are cached on disk, so
-a re-run of this script is free (see docs/experiments.md).
+The whole study is one declarative ``SweepSpec`` (fabric x core count).
+Instead of waiting on the batch barrier, the script streams records with
+``iter_results``: cached points print immediately and fresh simulations
+print the moment their worker process finishes (``REPRO_JOBS`` workers),
+so you watch the sweep fill in.  A re-run is served entirely from the
+on-disk cache (see docs/experiments.md).
 
 Run with::
 
     python examples/scaling_study.py
 """
 
-from repro import presets
+from repro import SweepSpec, iter_results
 from repro.analysis.report import ReportTable
-from repro.config.noc import Topology
-from repro.experiments import RunSettings, point_for, run_experiments
+from repro.experiments import RunSettings
 
 CORE_COUNTS = (1, 4, 16, 64)
 SETTINGS = RunSettings(
     warmup_references=2000, detailed_warmup_cycles=800, measure_cycles=4000
 )
 
+SPEC = SweepSpec(
+    axes={"topology": ("ideal", "mesh"), "num_cores": CORE_COUNTS},
+    settings=SETTINGS,
+    fixed={"workload": "Data Serving"},
+)
+
 
 def main() -> None:
-    workload = presets.workload("Data Serving")
-    keys = [
-        (topology, count)
-        for topology in (Topology.IDEAL, Topology.MESH)
-        for count in CORE_COUNTS
-    ]
-    points = [
-        point_for(topology, workload, num_cores=count, settings=SETTINGS)
-        for topology, count in keys
-    ]
-    per_core = {
-        key: result.per_core_ipc for key, result in zip(keys, run_experiments(points))
-    }
+    per_core = {}
+    total = SPEC.size()
+    for done, record in enumerate(iter_results(SPEC), start=1):
+        key = (record.coords["topology"], record.coords["num_cores"])
+        per_core[key] = record.metric("per_core_ipc")
+        print(
+            f"[{done}/{total}] {record.coords['topology']:>5} @ "
+            f"{record.coords['num_cores']:>2} cores: "
+            f"per-core IPC {per_core[key]:.4f}"
+        )
 
     table = ReportTable(
         ["Cores", "Ideal per-core perf", "Mesh per-core perf", "Mesh / Ideal"],
         title="Per-core performance vs. core count (Data Serving, normalised to 1 core)",
     )
-    ideal_base = per_core[(Topology.IDEAL, CORE_COUNTS[0])]
-    mesh_base = per_core[(Topology.MESH, CORE_COUNTS[0])]
+    ideal_base = per_core[("ideal", CORE_COUNTS[0])]
+    mesh_base = per_core[("mesh", CORE_COUNTS[0])]
     for count in CORE_COUNTS:
-        ideal = per_core[(Topology.IDEAL, count)] / ideal_base
-        mesh = per_core[(Topology.MESH, count)] / mesh_base
+        ideal = per_core[("ideal", count)] / ideal_base
+        mesh = per_core[("mesh", count)] / mesh_base
         table.add_row(count, ideal, mesh, mesh / ideal)
+    print()
     print(table.render())
     print()
     print(

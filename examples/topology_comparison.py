@@ -6,9 +6,10 @@ three evaluated chip organizations, normalises throughput to the mesh and
 also reports the NoC area of each design (Figure 8) so the
 performance/area trade-off the paper argues for is visible in one table.
 
-The three runs go through the experiment engine (``run_topology_sweep``),
-so they execute in parallel on a multi-core machine and are served from the
-on-disk result cache on a re-run (see docs/experiments.md).
+The study is one ``SweepSpec`` over the topology axis, executed with
+``run_sweep``: the three runs execute in parallel on a multi-core machine
+and are served from the on-disk result cache on a re-run (see
+docs/experiments.md).
 
 Run with::
 
@@ -17,12 +18,12 @@ Run with::
 
 import sys
 
-from repro import NocAreaModel, presets
+from repro import NocAreaModel, SweepSpec, run_sweep
 from repro.analysis.report import ReportTable
-from repro.config.noc import Topology
-from repro.experiments import RunSettings, run_topology_sweep
+from repro.experiments import RunSettings
+from repro.scenarios import build_system, workload
 
-TOPOLOGIES = (Topology.MESH, Topology.FLATTENED_BUTTERFLY, Topology.NOC_OUT)
+TOPOLOGY_NAMES = ("mesh", "flattened_butterfly", "noc_out")
 SETTINGS = RunSettings(
     warmup_references=2500, detailed_warmup_cycles=1000, measure_cycles=5000
 )
@@ -31,23 +32,26 @@ SETTINGS = RunSettings(
 def main() -> None:
     workload_name = sys.argv[1] if len(sys.argv) > 1 else "Data Serving"
     area_model = NocAreaModel()
-    results = run_topology_sweep([workload_name], TOPOLOGIES, settings=SETTINGS)
+    spec = SweepSpec(
+        axes={"topology": TOPOLOGY_NAMES},
+        settings=SETTINGS,
+        fixed={"workload": workload_name},
+    )
+    results = run_sweep(spec)
 
-    mesh_ipc = results[(workload_name, Topology.MESH)].throughput_ipc
+    mesh_ipc = results.value("throughput_ipc", topology="mesh")
     table = ReportTable(
         ["Organization", "IPC", "vs. mesh", "NoC latency", "NoC area (mm2)"],
         title=f"Topology comparison on {workload_name} (64-core CMP)",
     )
-    for topology in TOPOLOGIES:
-        result = results[(workload_name, topology)]
-        config = presets.baseline_system(topology).with_workload(
-            presets.workload(workload_name)
-        )
+    for name in TOPOLOGY_NAMES:
+        record = results.filter(topology=name)[0]
+        config = build_system(name).with_workload(workload(workload_name))
         table.add_row(
-            topology.value,
-            result.throughput_ipc,
-            result.throughput_ipc / mesh_ipc if mesh_ipc else 0.0,
-            result.network_mean_latency,
+            name,
+            record.metric("throughput_ipc"),
+            record.metric("throughput_ipc") / mesh_ipc if mesh_ipc else 0.0,
+            record.metric("network_mean_latency"),
             area_model.total_area_mm2(config),
         )
     print(table.render())

@@ -1,0 +1,21 @@
+#!/usr/bin/env python3
+"""Merge a shard's result-cache directory into another cache directory.
+
+Thin wrapper so the tool is discoverable next to the other scripts; the
+implementation (and the ``python -m repro.scenarios.merge`` entry point)
+lives in :mod:`repro.scenarios.merge`.
+
+Usage::
+
+    PYTHONPATH=src python scripts/cache_merge.py shard0-cache/ merged-cache/
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.scenarios.merge import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

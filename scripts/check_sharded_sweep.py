@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""CI check: a sharded sweep plus a cache merge reproduces the full sweep.
+
+Exercises the distributed-sweep workflow end to end on one machine:
+
+1. expand the Figure-1 spec and split it with ``spec.shard(i, 2)``;
+2. run each shard against its own private cache directory (as two
+   machines would);
+3. merge both shard caches into a fresh directory with
+   :func:`repro.scenarios.merge.merge_caches`;
+4. run the *unsharded* spec against the merged cache and require zero new
+   simulations and record-for-record equality with the shard union.
+
+Honours ``REPRO_EXPERIMENT_SCALE`` / ``REPRO_JOBS``; CI runs it at scale
+0.1.  Violations raise (explicitly, not via ``assert``, so ``python -O``
+cannot strip the checks) and exit non-zero.
+
+Usage::
+
+    PYTHONPATH=src REPRO_EXPERIMENT_SCALE=0.1 python scripts/check_sharded_sweep.py
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.engine import ResultCache, SweepExecutor  # noqa: E402
+from repro.experiments.fig1_scaling import figure1_spec  # noqa: E402
+from repro.scenarios import run_sweep  # noqa: E402
+from repro.scenarios.merge import merge_caches  # noqa: E402
+
+SHARDS = 2
+
+
+class CheckFailure(Exception):
+    """A sharding/merge invariant was violated."""
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise CheckFailure(message)
+
+
+def main() -> int:
+    spec = figure1_spec()
+    total_points = len(spec.expand())
+    print(f"Figure 1 spec: {total_points} points, sharded {SHARDS} ways")
+
+    with tempfile.TemporaryDirectory(prefix="repro-shard-check-") as tmp:
+        tmp = Path(tmp)
+        shard_records = {}
+        shard_sizes = []
+        for index in range(SHARDS):
+            shard = spec.shard(index, SHARDS)
+            executor = SweepExecutor(cache=ResultCache(tmp / f"shard{index}"))
+            results = run_sweep(shard, executor=executor, keep_results=False)
+            shard_sizes.append(len(results))
+            print(
+                f"  shard {index}/{SHARDS}: {len(results)} points, "
+                f"{executor.last_stats.simulations_run} simulated"
+            )
+            for record in results:
+                check(
+                    record.point_hash not in shard_records,
+                    f"point {record.point_hash} appeared in two shards",
+                )
+                shard_records[record.point_hash] = record
+
+        check(
+            sum(shard_sizes) == total_points,
+            f"shards cover {sum(shard_sizes)} of {total_points} points",
+        )
+
+        merged = tmp / "merged"
+        for index in range(SHARDS):
+            stats = merge_caches(tmp / f"shard{index}", merged)
+            print(f"  merge shard{index} -> merged: {stats.summary()}")
+
+        executor = SweepExecutor(cache=ResultCache(merged))
+        full = run_sweep(spec, executor=executor, keep_results=False)
+        print(
+            f"  unsharded run on merged cache: {len(full)} points, "
+            f"{executor.last_stats.simulations_run} simulated, "
+            f"{executor.last_stats.cache_hits} cache hits"
+        )
+        check(
+            executor.last_stats.simulations_run == 0,
+            "merged cache was incomplete: the unsharded sweep re-simulated "
+            f"{executor.last_stats.simulations_run} points",
+        )
+        for record in full:
+            check(
+                record.metrics == shard_records[record.point_hash].metrics,
+                f"metrics for {record.point_hash} differ between the sharded "
+                "and merged runs",
+            )
+
+    print("OK: sharded run + cache merge reproduces the unsharded sweep")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except CheckFailure as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        raise SystemExit(1)

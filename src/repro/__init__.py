@@ -31,8 +31,17 @@ from repro.chip.builder import build_chip
 from repro.chip.chip import Chip, SimulationResults
 from repro.power.area_model import NocAreaModel
 from repro.power.energy_model import NocEnergyModel
+from repro.scenarios import (
+    ResultRecord,
+    ResultSet,
+    SweepSpec,
+    iter_results,
+    register_topology,
+    register_workload,
+    run_sweep,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "presets",
@@ -44,5 +53,12 @@ __all__ = [
     "SimulationResults",
     "NocAreaModel",
     "NocEnergyModel",
+    "ResultRecord",
+    "ResultSet",
+    "SweepSpec",
+    "iter_results",
+    "register_topology",
+    "register_workload",
+    "run_sweep",
     "__version__",
 ]

@@ -18,6 +18,7 @@ from typing import Dict, List
 from repro.config.noc import NocConfig, Topology
 from repro.config.system import SystemConfig
 from repro.config.workload import WorkloadConfig
+from repro.scenarios.registry import register_topology, register_workload, workloads as _workload_registry
 
 MB = 1024 * 1024
 GB = 1024 * MB
@@ -36,6 +37,7 @@ WORKLOAD_NAMES: List[str] = [
 FIGURE1_WORKLOADS: List[str] = ["Data Serving", "MapReduce-W"]
 
 
+@register_workload("Data Serving")
 def data_serving() -> WorkloadConfig:
     """Cassandra-style key-value serving: lowest ILP/MLP, latency bound."""
     return WorkloadConfig(
@@ -56,6 +58,7 @@ def data_serving() -> WorkloadConfig:
     )
 
 
+@register_workload("MapReduce-C")
 def mapreduce_c() -> WorkloadConfig:
     """MapReduce text classification: batch, modest locality."""
     return WorkloadConfig(
@@ -76,6 +79,7 @@ def mapreduce_c() -> WorkloadConfig:
     )
 
 
+@register_workload("MapReduce-W")
 def mapreduce_w() -> WorkloadConfig:
     """MapReduce word count: batch, slightly better instruction locality."""
     return WorkloadConfig(
@@ -96,6 +100,7 @@ def mapreduce_w() -> WorkloadConfig:
     )
 
 
+@register_workload("SAT Solver")
 def sat_solver() -> WorkloadConfig:
     """Cloud9 SAT solver: batch, pointer chasing over a large working set."""
     return WorkloadConfig(
@@ -116,6 +121,7 @@ def sat_solver() -> WorkloadConfig:
     )
 
 
+@register_workload("Web Frontend")
 def web_frontend() -> WorkloadConfig:
     """SPECweb2009 e-banking front end: 16-core scalability limit."""
     return WorkloadConfig(
@@ -136,6 +142,7 @@ def web_frontend() -> WorkloadConfig:
     )
 
 
+@register_workload("Web Search")
 def web_search() -> WorkloadConfig:
     """Nutch/Lucene index serving: 16-core scalability limit."""
     return WorkloadConfig(
@@ -156,29 +163,21 @@ def web_search() -> WorkloadConfig:
     )
 
 
-_WORKLOAD_FACTORIES = {
-    "Data Serving": data_serving,
-    "MapReduce-C": mapreduce_c,
-    "MapReduce-W": mapreduce_w,
-    "SAT Solver": sat_solver,
-    "Web Frontend": web_frontend,
-    "Web Search": web_search,
-}
-
-
 def workload(name: str) -> WorkloadConfig:
-    """Return the preset :class:`WorkloadConfig` for ``name``."""
-    try:
-        return _WORKLOAD_FACTORIES[name]()
-    except KeyError:
-        raise KeyError(
-            f"unknown workload {name!r}; available: {sorted(_WORKLOAD_FACTORIES)}"
-        ) from None
+    """Return the :class:`WorkloadConfig` registered under ``name``.
+
+    Thin shim over the workload registry
+    (:data:`repro.scenarios.registry.workloads`): the six presets above are
+    seeded by their decorators, and anything added with
+    ``@register_workload`` elsewhere resolves here too.
+    """
+    return _workload_registry.create(name)
 
 
 def all_workloads() -> Dict[str, WorkloadConfig]:
-    """All six CloudSuite-style workload presets keyed by name."""
-    return {name: factory() for name, factory in _WORKLOAD_FACTORIES.items()}
+    """All registered workload presets keyed by name (the paper's six, plus
+    any extras registered with ``@register_workload``)."""
+    return {name: _workload_registry.create(name) for name in _workload_registry.names()}
 
 
 # --------------------------------------------------------------------------- #
@@ -195,21 +194,25 @@ def baseline_system(
     return SystemConfig(num_cores=num_cores, noc=noc, seed=seed)
 
 
+@register_topology("mesh")
 def mesh_system(num_cores: int = 64, **kwargs) -> SystemConfig:
     """Tiled mesh baseline (Figure 2)."""
     return baseline_system(Topology.MESH, num_cores=num_cores, **kwargs)
 
 
+@register_topology("flattened_butterfly")
 def flattened_butterfly_system(num_cores: int = 64, **kwargs) -> SystemConfig:
     """Tiled chip with a two-dimensional flattened butterfly (Figure 3)."""
     return baseline_system(Topology.FLATTENED_BUTTERFLY, num_cores=num_cores, **kwargs)
 
 
+@register_topology("noc_out")
 def nocout_system(num_cores: int = 64, **kwargs) -> SystemConfig:
     """The proposed NOC-Out organization (Figure 5)."""
     return baseline_system(Topology.NOC_OUT, num_cores=num_cores, **kwargs)
 
 
+@register_topology("ideal")
 def ideal_system(num_cores: int = 64, **kwargs) -> SystemConfig:
     """Idealized interconnect exposing only wire delay (Figure 1)."""
     return baseline_system(Topology.IDEAL, num_cores=num_cores, **kwargs)

@@ -1,10 +1,14 @@
 """Experiment harnesses: one module per table / figure in the paper.
 
-Each module exposes a ``run_*`` function returning plain dictionaries plus
-a ``render_*`` helper producing the text table the benchmarks print.  The
-benchmark suite under ``benchmarks/`` is a thin wrapper around these
+Each figure module declares its sweep as a
+:class:`~repro.scenarios.spec.SweepSpec` (a ``*_spec`` function) and keeps
+a ``run_*`` entry point that executes the spec with
+:func:`~repro.scenarios.run.run_sweep` and pivots the resulting
+:class:`~repro.scenarios.results.ResultSet` into the figure's table shape,
+plus a ``render_*`` helper producing the text table the benchmarks print.
+The benchmark suite under ``benchmarks/`` is a thin wrapper around these
 functions, so the full evaluation can also be driven programmatically (see
-``examples/``).
+``examples/`` and :mod:`repro.scenarios`).
 
 All simulation sweeps execute through :mod:`repro.experiments.engine`: a
 parallel, cache-aware executor that deduplicates identical points, serves

@@ -9,21 +9,46 @@ Three studies back the design decisions called out in the paper:
   trees.
 * **Scaling extensions** (Section 7.1): concentration and express links for
   configurations beyond 64 cores.
+
+Each study is a :class:`~repro.scenarios.spec.SweepSpec` whose axes are
+NoC-override coordinates (``llc_banks_per_tile``, ``tree_arbitration``,
+``tree_concentration`` x ``tree_express_links``) on the NOC-Out fabric.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.analysis.report import ReportTable
-from repro.config import presets
-from repro.config.noc import Topology
-from repro.experiments.engine import run_experiments
-from repro.experiments.harness import RunSettings, point_for
+from repro.experiments.harness import RunSettings
+from repro.scenarios import SweepSpec, run_sweep
 
 #: Banks-per-tile sweep: 8 tiles x {1, 2, 4, 8} banks = 8..64 LLC banks,
 #: i.e. from 8 cores per bank down to 1 core per bank on a 64-core chip.
 BANKING_SWEEP = (1, 2, 4, 8)
+
+#: The four 128-core tree variants of the scaling study, as (label ->
+#: (tree_concentration, tree_express_links)).  The spec sweeps the two
+#: override axes' cross product; this mapping names the combinations.
+SCALING_VARIANTS = {
+    "tall trees": (1, False),
+    "concentration x2": (2, False),
+    "express links": (1, True),
+    "concentration + express": (2, True),
+}
+
+
+def llc_banking_spec(
+    workload_name: str = "Data Serving",
+    banks_per_tile: Sequence[int] = BANKING_SWEEP,
+    num_cores: int = 64,
+    settings: Optional[RunSettings] = None,
+) -> SweepSpec:
+    return SweepSpec(
+        axes={"llc_banks_per_tile": tuple(banks_per_tile)},
+        settings=settings or RunSettings.from_env(),
+        fixed={"workload": workload_name, "topology": "noc_out", "num_cores": num_cores},
+    )
 
 
 def run_llc_banking_ablation(
@@ -34,22 +59,24 @@ def run_llc_banking_ablation(
     jobs: Optional[int] = None,
 ) -> Dict[int, float]:
     """NOC-Out throughput as a function of LLC banks per tile."""
-    workload = presets.workload(workload_name)
-    settings = settings or RunSettings.from_env()
-    points = [
-        point_for(
-            Topology.NOC_OUT,
-            workload,
-            num_cores=num_cores,
-            settings=settings,
-            noc_overrides={"llc_banks_per_tile": banks},
-        )
-        for banks in banks_per_tile
-    ]
-    results = run_experiments(points, jobs=jobs)
+    spec = llc_banking_spec(workload_name, banks_per_tile, num_cores, settings)
+    results = run_sweep(spec, jobs=jobs, keep_results=False)
     return {
-        banks: result.throughput_ipc for banks, result in zip(banks_per_tile, results)
+        banks: results.value("throughput_ipc", llc_banks_per_tile=banks)
+        for banks in banks_per_tile
     }
+
+
+def tree_arbitration_spec(
+    workload_name: str = "Data Serving",
+    num_cores: int = 64,
+    settings: Optional[RunSettings] = None,
+) -> SweepSpec:
+    return SweepSpec(
+        axes={"tree_arbitration": ("static_priority", "round_robin")},
+        settings=settings or RunSettings.from_env(),
+        fixed={"workload": workload_name, "topology": "noc_out", "num_cores": num_cores},
+    )
 
 
 def run_tree_arbitration_ablation(
@@ -59,21 +86,27 @@ def run_tree_arbitration_ablation(
     jobs: Optional[int] = None,
 ) -> Dict[str, float]:
     """NOC-Out throughput with static-priority vs. round-robin tree arbiters."""
-    workload = presets.workload(workload_name)
-    settings = settings or RunSettings.from_env()
-    policies = ("static_priority", "round_robin")
-    points = [
-        point_for(
-            Topology.NOC_OUT,
-            workload,
-            num_cores=num_cores,
-            settings=settings,
-            noc_overrides={"tree_arbitration": policy},
-        )
-        for policy in policies
-    ]
-    results = run_experiments(points, jobs=jobs)
-    return {policy: result.throughput_ipc for policy, result in zip(policies, results)}
+    spec = tree_arbitration_spec(workload_name, num_cores, settings)
+    results = run_sweep(spec, jobs=jobs, keep_results=False)
+    return {
+        policy: results.value("throughput_ipc", tree_arbitration=policy)
+        for policy in ("static_priority", "round_robin")
+    }
+
+
+def scaling_spec(
+    workload_name: str = "MapReduce-W",
+    num_cores: int = 128,
+    settings: Optional[RunSettings] = None,
+) -> SweepSpec:
+    return SweepSpec(
+        axes={
+            "tree_concentration": (1, 2),
+            "tree_express_links": (False, True),
+        },
+        settings=settings or RunSettings.from_env(),
+        fixed={"workload": workload_name, "topology": "noc_out", "num_cores": num_cores},
+    )
 
 
 def run_scaling_ablation(
@@ -83,27 +116,15 @@ def run_scaling_ablation(
     jobs: Optional[int] = None,
 ) -> Dict[str, float]:
     """128-core NOC-Out: baseline trees vs. concentration vs. express links."""
-    workload = presets.workload(workload_name)
-    settings = settings or RunSettings.from_env()
-    variants = {
-        "tall trees": {},
-        "concentration x2": {"tree_concentration": 2},
-        "express links": {"tree_express_links": True},
-        "concentration + express": {"tree_concentration": 2, "tree_express_links": True},
-    }
-    points = [
-        point_for(
-            Topology.NOC_OUT,
-            workload,
-            num_cores=num_cores,
-            settings=settings,
-            noc_overrides=overrides,
-        )
-        for overrides in variants.values()
-    ]
-    results = run_experiments(points, jobs=jobs)
+    spec = scaling_spec(workload_name, num_cores, settings)
+    results = run_sweep(spec, jobs=jobs, keep_results=False)
     return {
-        label: result.throughput_ipc for label, result in zip(variants, results)
+        label: results.value(
+            "throughput_ipc",
+            tree_concentration=concentration,
+            tree_express_links=express,
+        )
+        for label, (concentration, express) in SCALING_VARIANTS.items()
     }
 
 

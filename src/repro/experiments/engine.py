@@ -23,6 +23,10 @@ Environment variables
     Cache directory (default ``~/.cache/repro``).
 ``REPRO_CACHE``
     Set to ``0``/``off``/``false``/``no`` to disable the result cache.
+``REPRO_CACHE_MAX_MB``
+    Size cap for the cache directory in megabytes (default: unlimited).
+    When a store pushes the directory past the cap, least-recently-used
+    result files are evicted; loading an entry refreshes its recency.
 ``REPRO_EXPERIMENT_SCALE``
     Consumed by :meth:`RunSettings.from_env` (see
     :mod:`repro.experiments.harness`); scaled settings hash differently, so
@@ -36,11 +40,11 @@ import hashlib
 import json
 import os
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from enum import Enum
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.chip.chip import Chip, SimulationResults
 from repro.config.system import SystemConfig
@@ -51,6 +55,8 @@ JOBS_ENV_VAR = "REPRO_JOBS"
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
 #: Cache kill-switch environment variable.
 CACHE_ENV_VAR = "REPRO_CACHE"
+#: Cache size-cap environment variable (megabytes; unset = unlimited).
+CACHE_MAX_MB_ENV_VAR = "REPRO_CACHE_MAX_MB"
 
 #: Bump whenever the hash payload or the cache file layout changes; old
 #: entries then read as misses instead of deserialisation errors.
@@ -159,15 +165,43 @@ def cache_enabled() -> bool:
     )
 
 
+def default_cache_max_bytes() -> Optional[int]:
+    """Size cap from ``REPRO_CACHE_MAX_MB`` in bytes (``None`` = unlimited)."""
+    env = os.environ.get(CACHE_MAX_MB_ENV_VAR)
+    if not env:
+        return None
+    try:
+        max_mb = float(env)
+    except ValueError as exc:
+        raise ValueError(f"{CACHE_MAX_MB_ENV_VAR} must be a number, got {env!r}") from exc
+    if max_mb <= 0:
+        raise ValueError(f"{CACHE_MAX_MB_ENV_VAR} must be positive, got {env!r}")
+    return int(max_mb * 1024 * 1024)
+
+
 class ResultCache:
     """JSON result store keyed by :meth:`ExperimentPoint.content_hash`.
 
     Corrupted or schema-incompatible entries are deleted and treated as
     misses, so a crashed writer or a format change can never wedge a sweep.
+
+    The directory can be size-capped (``max_bytes`` argument or the
+    ``REPRO_CACHE_MAX_MB`` environment variable): when a store pushes the
+    total past the cap, the least-recently-used result files are evicted.
+    A cache hit refreshes the entry's mtime, so recency tracking survives
+    filesystems without reliable atimes.
     """
 
-    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         self.root = Path(root) if root is not None else default_cache_root()
+        self.max_bytes = max_bytes if max_bytes is not None else default_cache_max_bytes()
+        # Running estimate of the directory size, so a capped sweep does not
+        # re-stat the whole directory on every store (None = not yet scanned).
+        self._approx_total_bytes: Optional[int] = None
 
     def path_for(self, point: ExperimentPoint) -> Path:
         return self.root / f"{point.content_hash()}.json"
@@ -179,7 +213,7 @@ class ResultCache:
             payload = json.loads(path.read_text())
             if payload.get("schema") != CACHE_SCHEMA_VERSION:
                 raise ValueError("cache schema mismatch")
-            return SimulationResults.from_dict(payload["result"])
+            result = SimulationResults.from_dict(payload["result"])
         except FileNotFoundError:
             return None
         except (ValueError, KeyError, TypeError, AttributeError, OSError):
@@ -188,6 +222,11 @@ class ResultCache:
             except OSError:
                 pass
             return None
+        try:
+            os.utime(path)  # mark as recently used for the LRU size cap
+        except OSError:
+            pass
+        return result
 
     def store(self, point: ExperimentPoint, result: SimulationResults) -> Path:
         """Atomically persist ``result`` under the point's hash."""
@@ -209,7 +248,55 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        self._enforce_size_cap(protect=path)
         return path
+
+    def _enforce_size_cap(self, protect: Optional[Path] = None) -> None:
+        """Evict least-recently-used entries until the cap is respected.
+
+        ``protect`` (the entry just written) is never evicted, so a cap
+        smaller than one result degrades to "keep only the newest" rather
+        than a store that immediately forgets what it wrote.
+
+        The directory is only re-scanned when the running size estimate
+        crosses the cap (concurrent writers can make the estimate stale,
+        but every enforcement starts from a fresh scan), so a sweep's cost
+        stays O(points) rather than O(points x cached entries).
+        """
+        if self.max_bytes is None:
+            return
+        if self._approx_total_bytes is not None and protect is not None:
+            try:
+                self._approx_total_bytes += protect.stat().st_size
+            except OSError:
+                self._approx_total_bytes = None
+            if (
+                self._approx_total_bytes is not None
+                and self._approx_total_bytes <= self.max_bytes
+            ):
+                return
+
+        entries = []
+        total = 0
+        for path in self.root.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            total += stat.st_size
+            entries.append((stat.st_mtime, path.name, stat.st_size, path))
+        entries.sort()  # oldest mtime first; name breaks ties deterministically
+        for _, _, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            if protect is not None and path == protect:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+        self._approx_total_bytes = total
 
 
 # --------------------------------------------------------------------- #
@@ -267,8 +354,26 @@ class SweepExecutor:
     def run(self, points: Iterable[ExperimentPoint]) -> List[SimulationResults]:
         """Execute ``points`` and return their results in the same order."""
         points = list(points)
-        stats = SweepStats()
         results: List[Optional[SimulationResults]] = [None] * len(points)
+        for index, result in self.run_iter(points):
+            results[index] = result
+        return results  # type: ignore[return-value]
+
+    def run_iter(
+        self, points: Iterable[ExperimentPoint]
+    ) -> Iterator[Tuple[int, SimulationResults]]:
+        """Yield ``(index, result)`` pairs as points complete.
+
+        Cache hits are yielded first (instantly); the uncached remainder
+        streams in as worker processes finish, each result stored to the
+        cache the moment it lands.  Indices refer to positions in the input
+        sequence; duplicate points share one simulation and yield once per
+        index.  This is the engine-level primitive behind
+        :func:`repro.scenarios.run.iter_results`.
+        """
+        points = list(points)
+        stats = SweepStats()
+        self.last_stats = stats
 
         # Identical points (same content hash) are simulated only once.
         groups: Dict[str, List[int]] = {}
@@ -283,28 +388,60 @@ class SweepExecutor:
             if cached is not None:
                 stats.cache_hits += len(indices)
                 for index in indices:
-                    results[index] = cached
+                    yield index, cached
             else:
                 stats.cache_misses += len(indices)
                 pending.append(point)
                 pending_indices.append(indices)
 
-        if pending:
-            stats.simulations_run = len(pending)
-            if self.jobs == 1 or len(pending) == 1:
-                executed = [execute_point(point) for point in pending]
-            else:
-                workers = min(self.jobs, len(pending))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    executed = list(pool.map(execute_point, pending))
-            for point, indices, result in zip(pending, pending_indices, executed):
+        if not pending:
+            return
+        # simulations_run counts *completed* simulations, so an abandoned
+        # run_iter consumer leaves accurate stats behind.
+        if self.jobs == 1 or len(pending) == 1:
+            for point, indices in zip(pending, pending_indices):
+                result = execute_point(point)
+                stats.simulations_run += 1
                 if self.cache is not None:
                     self.cache.store(point, result)
                 for index in indices:
-                    results[index] = result
-
-        self.last_stats = stats
-        return results  # type: ignore[return-value]
+                    yield index, result
+        else:
+            workers = min(self.jobs, len(pending))
+            pool = ProcessPoolExecutor(max_workers=workers)
+            futures = {
+                pool.submit(execute_point, point): position
+                for position, point in enumerate(pending)
+            }
+            yielded = set()
+            consumed_fully = False
+            try:
+                for future in as_completed(futures):
+                    position = futures[future]
+                    result = future.result()
+                    stats.simulations_run += 1
+                    if self.cache is not None:
+                        self.cache.store(pending[position], result)
+                    yielded.add(position)
+                    for index in pending_indices[position]:
+                        yield index, result
+                consumed_fully = True
+            finally:
+                # If the consumer abandoned the generator, harvest (and
+                # cache) whatever already finished, cancel the queued rest,
+                # and return without waiting on in-flight simulations.
+                if not consumed_fully:
+                    for future, position in futures.items():
+                        if (
+                            position not in yielded
+                            and future.done()
+                            and not future.cancelled()
+                            and future.exception() is None
+                        ):
+                            stats.simulations_run += 1
+                            if self.cache is not None:
+                                self.cache.store(pending[position], future.result())
+                pool.shutdown(wait=consumed_fully, cancel_futures=True)
 
 
 def run_experiments(

@@ -4,6 +4,11 @@ An 8 MB LLC is shared by all cores; growing the core count grows the die
 and therefore the average core-to-LLC distance.  With an ideal (wire-only)
 interconnect per-core performance degrades slowly; with a mesh the extra
 router traversals cost ~22 % at 64 cores.
+
+The sweep is declared as a :class:`~repro.scenarios.spec.SweepSpec`
+(workload x fabric x core count) and executed with
+:func:`~repro.scenarios.run.run_sweep`; :func:`run_figure1` then pivots the
+records into the figure's ``{workload: {series: {cores: value}}}`` shape.
 """
 
 from __future__ import annotations
@@ -12,16 +17,55 @@ from typing import Dict, Iterable, Optional, Sequence
 
 from repro.analysis.report import ReportTable
 from repro.config import presets
-from repro.config.noc import Topology
-from repro.experiments.engine import run_experiments
-from repro.experiments.harness import RunSettings, point_for
+from repro.experiments.harness import RunSettings
+from repro.scenarios import ResultSet, SweepSpec, run_sweep
 
 #: Core counts swept in Figure 1.
 CORE_COUNTS = (1, 2, 4, 8, 16, 32, 64)
 #: The two workloads shown in Figure 1.
 WORKLOADS = tuple(presets.FIGURE1_WORKLOADS)
+#: The two fabric series of the figure (topology preset names).
+SERIES = ("ideal", "mesh")
 #: Paper reference: at 64 cores the mesh loses ~22 % vs. the ideal fabric.
 PAPER_MESH_PENALTY_AT_64 = 0.22
+
+
+def figure1_spec(
+    workload_names: Optional[Iterable[str]] = None,
+    core_counts: Sequence[int] = CORE_COUNTS,
+    settings: Optional[RunSettings] = None,
+) -> SweepSpec:
+    """The Figure-1 sweep as declarative data."""
+    names = tuple(workload_names) if workload_names is not None else WORKLOADS
+    return SweepSpec(
+        axes={
+            "workload": names,
+            "topology": SERIES,
+            "num_cores": tuple(core_counts),
+        },
+        settings=settings or RunSettings.from_env(),
+    )
+
+
+def normalise_figure1(results: ResultSet) -> Dict[str, Dict[str, Dict[int, float]]]:
+    """Pivot sweep records into the figure's normalised nested-dict shape."""
+    curves: Dict[str, Dict[str, Dict[int, float]]] = {}
+    core_counts = results.axis_values("num_cores")
+    for name in results.axis_values("workload"):
+        curves[name] = {}
+        for label in results.axis_values("topology"):
+            series = {
+                count: results.value(
+                    "per_core_ipc", workload=name, topology=label, num_cores=count
+                )
+                for count in core_counts
+            }
+            baseline = series[core_counts[0]]
+            curves[name][label] = {
+                count: (value / baseline if baseline else 0.0)
+                for count, value in series.items()
+            }
+    return curves
 
 
 def run_figure1(
@@ -35,34 +79,8 @@ def run_figure1(
     Returns ``{workload: {"ideal"|"mesh": {core_count: normalised per-core perf}}}``.
     All workload x fabric x core-count points run as one engine batch.
     """
-    names = list(workload_names) if workload_names is not None else list(WORKLOADS)
-    settings = settings or RunSettings.from_env()
-    series = ((Topology.IDEAL, "ideal"), (Topology.MESH, "mesh"))
-
-    keys = []
-    points = []
-    for name in names:
-        workload = presets.workload(name)
-        for topology, label in series:
-            for count in core_counts:
-                keys.append((name, label, count))
-                points.append(
-                    point_for(topology, workload, num_cores=count, settings=settings)
-                )
-    per_core = dict(
-        zip(keys, (result.per_core_ipc for result in run_experiments(points, jobs=jobs)))
-    )
-
-    curves: Dict[str, Dict[str, Dict[int, float]]] = {}
-    for name in names:
-        curves[name] = {}
-        for _, label in series:
-            baseline = per_core[(name, label, core_counts[0])]
-            curves[name][label] = {
-                count: (per_core[(name, label, count)] / baseline if baseline else 0.0)
-                for count in core_counts
-            }
-    return curves
+    spec = figure1_spec(workload_names, core_counts, settings)
+    return normalise_figure1(run_sweep(spec, jobs=jobs, keep_results=False))
 
 
 def mesh_penalty(curves: Dict[str, Dict[str, Dict[int, float]]], core_count: int = 64) -> float:
@@ -84,7 +102,7 @@ def render_figure1(curves: Dict[str, Dict[str, Dict[int, float]]]) -> ReportTabl
         title="Figure 1: per-core performance normalised to 1 core",
     )
     for name, data in curves.items():
-        for label in ("ideal", "mesh"):
+        for label in SERIES:
             series = data[label]
             table.add_row(
                 f"{name} ({label.capitalize()})",

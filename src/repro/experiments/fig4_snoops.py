@@ -3,6 +3,9 @@
 The paper measures an average of roughly two snoop-triggering accesses per
 100 LLC accesses across the six scale-out workloads, which is the empirical
 basis for NOC-Out's decision to drop direct core-to-core connectivity.
+
+Declared as a one-axis :class:`~repro.scenarios.spec.SweepSpec` (workloads
+on the mesh baseline) and pivoted into the ``{workload: percent}`` shape.
 """
 
 from __future__ import annotations
@@ -11,9 +14,8 @@ from typing import Dict, Iterable, Optional
 
 from repro.analysis.report import ReportTable
 from repro.config import presets
-from repro.config.noc import Topology
-from repro.experiments.engine import run_experiments
-from repro.experiments.harness import RunSettings, point_for
+from repro.experiments.harness import RunSettings
+from repro.scenarios import SweepSpec, run_sweep
 
 #: Approximate per-workload values read off Figure 4 (percent).
 PAPER_REFERENCE = {
@@ -27,6 +29,20 @@ PAPER_REFERENCE = {
 }
 
 
+def figure4_spec(
+    workload_names: Optional[Iterable[str]] = None,
+    num_cores: int = 64,
+    settings: Optional[RunSettings] = None,
+) -> SweepSpec:
+    """The Figure-4 sweep: every workload on the mesh baseline."""
+    names = tuple(workload_names) if workload_names is not None else tuple(presets.WORKLOAD_NAMES)
+    return SweepSpec(
+        axes={"workload": names},
+        settings=settings or RunSettings.from_env(),
+        fixed={"topology": "mesh", "num_cores": num_cores},
+    )
+
+
 def run_figure4(
     workload_names: Optional[Iterable[str]] = None,
     num_cores: int = 64,
@@ -34,15 +50,11 @@ def run_figure4(
     jobs: Optional[int] = None,
 ) -> Dict[str, float]:
     """Snoop-triggering LLC access percentage per workload (plus the mean)."""
-    names = list(workload_names) if workload_names is not None else list(presets.WORKLOAD_NAMES)
-    settings = settings or RunSettings.from_env()
-    points = [
-        point_for(Topology.MESH, presets.workload(name), num_cores=num_cores, settings=settings)
-        for name in names
-    ]
-    results = run_experiments(points, jobs=jobs)
+    spec = figure4_spec(workload_names, num_cores, settings)
+    results = run_sweep(spec, jobs=jobs, keep_results=False)
+    names = results.axis_values("workload")
     rates: Dict[str, float] = {
-        name: 100.0 * result.snoop_rate for name, result in zip(names, results)
+        name: 100.0 * results.value("snoop_rate", workload=name) for name in names
     }
     rates["Mean"] = sum(rates[n] for n in names) / len(names)
     return rates

@@ -4,6 +4,10 @@ The paper reports that the flattened butterfly outperforms the mesh by
 7-31 % (geometric mean 17 %), and that NOC-Out matches the flattened
 butterfly on average: slightly behind on Data Serving (bank contention),
 slightly ahead on Web Search (shorter core-to-LLC distance).
+
+Declared as a workload x topology :class:`~repro.scenarios.spec.SweepSpec`
+and pivoted into the mesh-normalised ``{workload: {topology: value}}``
+shape (plus the geometric-mean row).
 """
 
 from __future__ import annotations
@@ -14,7 +18,8 @@ from repro.analysis.metrics import geometric_mean
 from repro.analysis.report import ReportTable
 from repro.config import presets
 from repro.config.noc import Topology
-from repro.experiments.harness import RunSettings, run_topology_sweep
+from repro.experiments.harness import RunSettings
+from repro.scenarios import ResultSet, SweepSpec, run_sweep
 
 #: Approximate values read off Figure 7 (normalised to mesh = 1.0).  Used
 #: for paper-vs-measured comparison in EXPERIMENTS.md, not for validation.
@@ -29,6 +34,44 @@ PAPER_REFERENCE = {
 }
 
 TOPOLOGIES = (Topology.MESH, Topology.FLATTENED_BUTTERFLY, Topology.NOC_OUT)
+#: Topology preset names, in the figure's column order.
+TOPOLOGY_NAMES = tuple(topology.value for topology in TOPOLOGIES)
+
+
+def figure7_spec(
+    workload_names: Optional[Iterable[str]] = None,
+    num_cores: int = 64,
+    settings: Optional[RunSettings] = None,
+) -> SweepSpec:
+    """The Figure-7 sweep: every workload on the three evaluated fabrics."""
+    names = tuple(workload_names) if workload_names is not None else tuple(presets.WORKLOAD_NAMES)
+    return SweepSpec(
+        axes={"workload": names, "topology": TOPOLOGY_NAMES},
+        settings=settings or RunSettings.from_env(),
+        fixed={"num_cores": num_cores},
+    )
+
+
+def normalise_to_mesh(results: ResultSet) -> Dict[str, Dict[str, float]]:
+    """Mesh-normalised throughput pivot, with a geometric-mean summary row."""
+    names = results.axis_values("workload")
+    topologies = results.axis_values("topology")
+    normalised: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        mesh = results.value("throughput_ipc", workload=name, topology="mesh")
+        normalised[name] = {
+            topology: (
+                results.value("throughput_ipc", workload=name, topology=topology) / mesh
+                if mesh
+                else 0.0
+            )
+            for topology in topologies
+        }
+    normalised["GMean"] = {
+        topology: geometric_mean([normalised[name][topology] for name in names])
+        for topology in topologies
+    }
+    return normalised
 
 
 def run_figure7(
@@ -38,26 +81,8 @@ def run_figure7(
     jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Run the Figure-7 sweep; returns normalised performance per workload."""
-    names = list(workload_names) if workload_names is not None else list(presets.WORKLOAD_NAMES)
-    results = run_topology_sweep(
-        names, TOPOLOGIES, num_cores=num_cores, settings=settings, jobs=jobs
-    )
-
-    normalised: Dict[str, Dict[str, float]] = {}
-    for name in names:
-        mesh = results[(name, Topology.MESH)].throughput_ipc
-        row = {}
-        for topology in TOPOLOGIES:
-            value = results[(name, topology)].throughput_ipc
-            row[topology.value] = value / mesh if mesh else 0.0
-        normalised[name] = row
-    gmean_row = {}
-    for topology in TOPOLOGIES:
-        gmean_row[topology.value] = geometric_mean(
-            [normalised[name][topology.value] for name in names]
-        )
-    normalised["GMean"] = gmean_row
-    return normalised
+    spec = figure7_spec(workload_names, num_cores, settings)
+    return normalise_to_mesh(run_sweep(spec, jobs=jobs, keep_results=False))
 
 
 def render_figure7(normalised: Dict[str, Dict[str, float]]) -> ReportTable:

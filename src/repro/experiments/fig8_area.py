@@ -5,8 +5,9 @@ butterfly (~7x the mesh) and ~2.5 mm2 for NOC-Out (28 % below the mesh and
 over 9x below the flattened butterfly).
 
 Unlike the other figures this one is purely analytic — the area model reads
-static topology descriptors, no simulation runs — so it bypasses the
-experiment engine (:mod:`repro.experiments.engine`) and needs no caching.
+static topology descriptors, no simulation runs — so there is no
+:class:`~repro.scenarios.spec.SweepSpec` to declare and nothing to cache;
+the configs are built straight from the topology registry.
 """
 
 from __future__ import annotations
@@ -14,9 +15,9 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.analysis.report import ReportTable
-from repro.config import presets
 from repro.config.noc import Topology
 from repro.power.area_model import AreaBreakdown, NocAreaModel
+from repro.scenarios import build_system
 
 #: Total NoC areas reported by the paper (mm2).
 PAPER_REFERENCE = {
@@ -37,8 +38,8 @@ def run_figure8(
     model = area_model or NocAreaModel()
     breakdowns: Dict[str, AreaBreakdown] = {}
     for topology in TOPOLOGIES:
-        config = presets.baseline_system(
-            topology, num_cores=num_cores, link_width_bits=link_width_bits
+        config = build_system(
+            topology.value, num_cores=num_cores, link_width_bits=link_width_bits
         )
         breakdowns[topology.value] = model.breakdown(config)
     return breakdowns

@@ -6,18 +6,23 @@ NoC area matches NOC-Out's (~2.5 mm2).  The mesh degrades only slightly
 butterfly, whose links shrink by roughly 7x, loses heavily to serialisation.
 The paper reports NOC-Out ahead of the area-normalised mesh by ~19 % and
 ahead of the area-normalised flattened butterfly by ~65 %.
+
+Because each fabric carries its own link width, the spec uses a *zipped*
+``fabric`` axis whose values set ``topology`` and ``link_width_bits``
+together (see :mod:`repro.scenarios.spec`).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Tuple
 
-from repro.analysis.metrics import geometric_mean
 from repro.analysis.report import ReportTable
 from repro.config import presets
 from repro.config.noc import Topology
-from repro.experiments.harness import RunSettings, run_topology_sweep
+from repro.experiments.harness import RunSettings
+from repro.experiments.fig7_performance import normalise_to_mesh
 from repro.power.area_model import NocAreaModel, link_width_for_area_budget
+from repro.scenarios import SweepSpec, run_sweep
 
 #: Paper reference (geometric mean, normalised to the area-budgeted mesh).
 PAPER_REFERENCE = {
@@ -43,6 +48,31 @@ def area_budget_link_widths(
     return budget, widths
 
 
+def figure9_spec(
+    workload_names: Optional[Iterable[str]] = None,
+    num_cores: int = 64,
+    settings: Optional[RunSettings] = None,
+    link_widths: Optional[Dict[Topology, int]] = None,
+) -> SweepSpec:
+    """The Figure-9 sweep: workloads x area-budgeted fabrics.
+
+    ``link_widths`` defaults to the widths that fit each fabric into
+    NOC-Out's area budget (:func:`area_budget_link_widths`).
+    """
+    names = tuple(workload_names) if workload_names is not None else tuple(presets.WORKLOAD_NAMES)
+    if link_widths is None:
+        _, link_widths = area_budget_link_widths(num_cores=num_cores)
+    fabrics = tuple(
+        {"topology": topology.value, "link_width_bits": link_widths[topology]}
+        for topology in TOPOLOGIES
+    )
+    return SweepSpec(
+        axes={"workload": names, "fabric": fabrics},
+        settings=settings or RunSettings.from_env(),
+        fixed={"num_cores": num_cores},
+    )
+
+
 def run_figure9(
     workload_names: Optional[Iterable[str]] = None,
     num_cores: int = 64,
@@ -54,31 +84,13 @@ def run_figure9(
     Returns a dictionary with the area budget, the chosen link widths and
     per-workload performance normalised to the area-budgeted mesh.
     """
-    names = list(workload_names) if workload_names is not None else list(presets.WORKLOAD_NAMES)
     budget, widths = area_budget_link_widths(num_cores=num_cores)
-    results = run_topology_sweep(
-        names,
-        TOPOLOGIES,
-        num_cores=num_cores,
-        settings=settings,
-        link_widths=widths,
-        jobs=jobs,
-    )
-    normalised: Dict[str, Dict[str, float]] = {}
-    for name in names:
-        mesh = results[(name, Topology.MESH)].throughput_ipc
-        normalised[name] = {
-            topology.value: (results[(name, topology)].throughput_ipc / mesh if mesh else 0.0)
-            for topology in TOPOLOGIES
-        }
-    normalised["GMean"] = {
-        topology.value: geometric_mean([normalised[name][topology.value] for name in names])
-        for topology in TOPOLOGIES
-    }
+    spec = figure9_spec(workload_names, num_cores, settings, link_widths=widths)
+    results = run_sweep(spec, jobs=jobs, keep_results=False)
     return {
         "area_budget_mm2": budget,
         "link_widths": {topology.value: width for topology, width in widths.items()},
-        "normalised_performance": normalised,
+        "normalised_performance": normalise_to_mesh(results),
     }
 
 

@@ -1,8 +1,16 @@
-"""Shared machinery for running the paper's experiments."""
+"""Shared machinery for running the paper's experiments.
+
+The sweep-shaped entry points that used to live here
+(:func:`run_topology_sweep`, :func:`run_single`) are deprecated shims over
+the declarative scenario API (:mod:`repro.scenarios`): describe the sweep
+as a :class:`~repro.scenarios.spec.SweepSpec` and run it with
+:func:`~repro.scenarios.run.run_sweep` instead.
+"""
 
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, Optional, Tuple
 
@@ -16,6 +24,15 @@ from repro.config.workload import WorkloadConfig
 #: experiment (1.0 = default; smaller values make the benchmarks faster but
 #: noisier, larger values make them slower but smoother).
 SCALE_ENV_VAR = "REPRO_EXPERIMENT_SCALE"
+
+#: Floors applied when scaling a window down: below these the simulation
+#: would not even reach steady state, so scaled settings clamp here.  The
+#: warmup floor is comparatively high because a near-cold cache hierarchy
+#: can stall a core for the entire (also scaled-down) measurement window,
+#: reading as zero IPC.
+MIN_WARMUP_REFERENCES = 1000
+MIN_DETAILED_WARMUP_CYCLES = 200
+MIN_MEASURE_CYCLES = 500
 
 
 @dataclass(frozen=True)
@@ -34,17 +51,26 @@ class RunSettings:
         scale = float(os.environ.get(SCALE_ENV_VAR, "1.0"))
         if scale <= 0:
             raise ValueError(f"{SCALE_ENV_VAR} must be positive")
-        return replace(
-            settings,
-            detailed_warmup_cycles=max(200, int(settings.detailed_warmup_cycles * scale)),
-            measure_cycles=max(500, int(settings.measure_cycles * scale)),
-        )
+        return settings.scaled(scale)
 
     def scaled(self, factor: float) -> "RunSettings":
+        """Scale all three windows by ``factor``, floor-clamping each.
+
+        ``factor == 1.0`` is an exact no-op, so explicitly-tiny settings
+        (e.g. in tests) pass through ``from_env`` unclamped at the default
+        scale.
+        """
+        if factor == 1.0:
+            return self
         return replace(
             self,
-            detailed_warmup_cycles=max(200, int(self.detailed_warmup_cycles * factor)),
-            measure_cycles=max(500, int(self.measure_cycles * factor)),
+            warmup_references=max(
+                MIN_WARMUP_REFERENCES, int(self.warmup_references * factor)
+            ),
+            detailed_warmup_cycles=max(
+                MIN_DETAILED_WARMUP_CYCLES, int(self.detailed_warmup_cycles * factor)
+            ),
+            measure_cycles=max(MIN_MEASURE_CYCLES, int(self.measure_cycles * factor)),
         )
 
 
@@ -56,9 +82,19 @@ def system_for(
     seed: int = 42,
     noc_overrides: Optional[dict] = None,
 ) -> SystemConfig:
-    """Build the :class:`SystemConfig` for one experimental point."""
-    config = presets.baseline_system(
-        topology, num_cores=num_cores, link_width_bits=link_width_bits, seed=seed
+    """Build the :class:`SystemConfig` for one experimental point.
+
+    The system is built through the topology registry
+    (:mod:`repro.scenarios.registry`), so fabrics registered with
+    ``@register_topology`` work here as soon as they exist.
+    """
+    from repro.scenarios.registry import build_system
+
+    config = build_system(
+        topology.value if isinstance(topology, Topology) else str(topology),
+        num_cores=num_cores,
+        link_width_bits=link_width_bits,
+        seed=seed,
     )
     if noc_overrides:
         noc = config.noc
@@ -103,7 +139,19 @@ def run_single(
     settings: Optional[RunSettings] = None,
     noc_overrides: Optional[dict] = None,
 ) -> SimulationResults:
-    """Run one (topology, workload) point and return its measurements."""
+    """Run one (topology, workload) point and return its measurements.
+
+    .. deprecated::
+        Describe the point as a one-axis :class:`~repro.scenarios.spec.SweepSpec`
+        and use :func:`repro.scenarios.run.run_sweep` instead.  This shim
+        survives for one release.
+    """
+    warnings.warn(
+        "run_single is deprecated; build a SweepSpec and use "
+        "repro.scenarios.run_sweep instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from repro.experiments.engine import run_experiments
 
     point = point_for(
@@ -128,12 +176,26 @@ def run_topology_sweep(
 ) -> Dict[Tuple[str, Topology], SimulationResults]:
     """Run the cross product of workloads and topologies.
 
+    .. deprecated::
+        Describe the cross product as a
+        :class:`~repro.scenarios.spec.SweepSpec` (axes ``workload`` x
+        ``topology``) and use :func:`repro.scenarios.run.run_sweep`; the
+        returned :class:`~repro.scenarios.results.ResultSet` replaces this
+        function's ``{(workload, topology): results}`` dictionary.  This
+        shim survives for one release.
+
     The sweep goes through the experiment engine: points are deduplicated,
     served from the on-disk result cache when possible, and the remainder
     fans out over ``jobs`` worker processes (``REPRO_JOBS`` /
     ``os.cpu_count()`` by default).  Pass an explicit ``executor`` to share
     a cache or inspect :attr:`SweepExecutor.last_stats` afterwards.
     """
+    warnings.warn(
+        "run_topology_sweep is deprecated; build a SweepSpec and use "
+        "repro.scenarios.run_sweep instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from repro.experiments.engine import SweepExecutor
 
     if executor is not None and jobs is not None:

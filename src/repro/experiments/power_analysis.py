@@ -5,6 +5,11 @@ organizations (cores alone exceed 60 W), that most of the energy is spent
 in the links, and that NOC-Out is the most efficient (~1.3 W) thanks to the
 shorter average core-to-LLC distance, followed by the flattened butterfly
 (~1.6 W) and the mesh (~1.8 W).
+
+The sweep is the same workload x topology spec as Figure 7; the energy
+model reads each record's full :class:`SimulationResults` (the
+``network_activity`` switching counters), so the sweep runs with
+``keep_results=True``.
 """
 
 from __future__ import annotations
@@ -14,8 +19,10 @@ from typing import Dict, Iterable, Optional
 from repro.analysis.report import ReportTable
 from repro.config import presets
 from repro.config.noc import Topology
-from repro.experiments.harness import RunSettings, run_topology_sweep
+from repro.experiments.fig7_performance import TOPOLOGY_NAMES, figure7_spec
+from repro.experiments.harness import RunSettings
 from repro.power.energy_model import NocEnergyModel, NocPowerReport
+from repro.scenarios import run_sweep
 
 #: NoC power reported by the paper (averaged over workloads), in watts.
 PAPER_REFERENCE = {
@@ -36,17 +43,17 @@ def run_power_analysis(
 ) -> Dict[str, Dict[str, NocPowerReport]]:
     """NoC power per (workload, topology) from recorded switching activity."""
     names = list(workload_names) if workload_names is not None else list(presets.WORKLOAD_NAMES)
-    settings = settings or RunSettings.from_env()
     model = energy_model or NocEnergyModel()
-    results = run_topology_sweep(
-        names, TOPOLOGIES, num_cores=num_cores, settings=settings, jobs=jobs
-    )
+    spec = figure7_spec(names, num_cores, settings)
+    results = run_sweep(spec, jobs=jobs)
     reports: Dict[str, Dict[str, NocPowerReport]] = {}
     for name in names:
         reports[name] = {}
-        for topology in TOPOLOGIES:
-            result = results[(name, topology)]
-            reports[name][topology.value] = model.report(result.network_activity, result.cycles)
+        for topology in TOPOLOGY_NAMES:
+            record = results.filter(workload=name, topology=topology)[0]
+            reports[name][topology] = model.report(
+                record.result.network_activity, record.result.cycles
+            )
     return reports
 
 

@@ -1,0 +1,107 @@
+"""Merge one result-cache directory into another (sharded-sweep companion).
+
+A sharded sweep (``spec.shard(i, n)``) leaves each machine with a private
+``REPRO_CACHE_DIR`` holding its shard's results.  This tool folds those
+directories together so the full spec can then be served entirely from
+cache on one machine::
+
+    python -m repro.scenarios.merge shard0-cache/ merged-cache/
+    python -m repro.scenarios.merge shard1-cache/ merged-cache/
+
+Entries are keyed by content hash, so a *collision* (same file name in
+source and destination) means both sides already hold the result of the
+identical simulation; collisions are skipped by default and only
+overwritten with ``--overwrite``.  Non-result files (anything but
+``<sha256>.json``) are ignored.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence
+
+#: Cache entries are ``<64 hex chars>.json``; anything else is not a result.
+_HASH_HEX_LENGTH = 64
+
+
+@dataclass
+class MergeStats:
+    """What one :func:`merge_caches` call did."""
+
+    copied: int = 0
+    skipped_collisions: int = 0
+    ignored_files: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"copied {self.copied}, skipped {self.skipped_collisions} "
+            f"collision(s), ignored {self.ignored_files} non-result file(s)"
+        )
+
+
+def _is_result_file(path: Path) -> bool:
+    stem = path.stem
+    return (
+        path.suffix == ".json"
+        and len(stem) == _HASH_HEX_LENGTH
+        and all(ch in "0123456789abcdef" for ch in stem)
+    )
+
+
+def merge_caches(source, dest, overwrite: bool = False) -> MergeStats:
+    """Copy every result file of ``source`` into ``dest``.
+
+    Key collisions (same hash present in both) are skipped unless
+    ``overwrite`` is set; timestamps are preserved so the LRU size cap
+    (``REPRO_CACHE_MAX_MB``) still sees the original recency.
+    """
+    source = Path(source)
+    dest = Path(dest)
+    if not source.is_dir():
+        raise FileNotFoundError(f"source cache directory {source} does not exist")
+    if dest.exists() and source.resolve() == dest.resolve():
+        raise ValueError("source and destination are the same directory")
+    dest.mkdir(parents=True, exist_ok=True)
+
+    stats = MergeStats()
+    for path in sorted(source.iterdir()):
+        if not path.is_file() or not _is_result_file(path):
+            stats.ignored_files += 1
+            continue
+        target = dest / path.name
+        if target.exists() and not overwrite:
+            stats.skipped_collisions += 1
+            continue
+        shutil.copy2(path, target)
+        stats.copied += 1
+    return stats
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios.merge",
+        description="Merge a shard's result cache into another cache directory.",
+    )
+    parser.add_argument("source", help="cache directory to read (e.g. a shard's)")
+    parser.add_argument("dest", help="cache directory to merge into (created if missing)")
+    parser.add_argument(
+        "--overwrite",
+        action="store_true",
+        help="replace colliding entries instead of skipping them",
+    )
+    args = parser.parse_args(argv)
+    try:
+        stats = merge_caches(args.source, args.dest, overwrite=args.overwrite)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.source} -> {args.dest}: {stats.summary()}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

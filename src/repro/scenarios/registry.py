@@ -1,0 +1,168 @@
+"""Name-based registries for workloads and topology presets.
+
+The paper's experiments are cross products over *named* things: workload
+presets ("Data Serving", "Web Search", ...) and fabric organizations
+("mesh", "flattened_butterfly", "noc_out", "ideal").  The registries here
+make both discoverable and extensible by name, so a new fabric preset or
+workload is a one-module addition::
+
+    from repro.scenarios import register_workload
+
+    @register_workload("My Workload")
+    def my_workload():
+        return WorkloadConfig(name="My Workload", ...)
+
+and ``SweepSpec(axes={"workload": ("My Workload",), ...})`` immediately
+works.  The built-in entries are seeded by :mod:`repro.config.presets`,
+whose factory functions carry the same decorators: the six CloudSuite-style
+workloads populate :data:`workloads`, and the four system builders (one per
+:class:`repro.config.noc.Topology` member) populate :data:`topologies`
+under the enum's string values.
+
+Import-order note: modules in ``repro.scenarios`` never import other
+``repro`` subpackages at module level (``repro.config.presets`` imports the
+decorators from here at *its* module level, so anything else would cycle).
+Lookups call :func:`ensure_seeded`, which imports the presets module
+on first use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class RegistrationError(ValueError):
+    """Raised on conflicting registrations (duplicate names)."""
+
+
+class Registry:
+    """A mapping from names to zero-config factories.
+
+    Names are looked up exactly as registered; unknown names raise
+    :class:`KeyError` with the list of available entries.  Registering a
+    name twice raises :class:`RegistrationError` unless ``replace=True``
+    is passed (useful for tests and experimentation).
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._factories: Dict[str, Callable] = {}
+
+    # -- registration --------------------------------------------------- #
+    def register(
+        self,
+        name: str,
+        factory: Optional[Callable] = None,
+        *,
+        replace: bool = False,
+    ):
+        """Register ``factory`` under ``name``; usable as a decorator."""
+
+        def decorator(function: Callable) -> Callable:
+            if not replace and name in self._factories:
+                raise RegistrationError(
+                    f"{self.kind} {name!r} is already registered; pass "
+                    f"replace=True to override it"
+                )
+            self._factories[name] = function
+            return function
+
+        if factory is not None:
+            return decorator(factory)
+        return decorator
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name`` (KeyError if absent); mainly for test cleanup."""
+        del self._factories[name]
+
+    # -- lookup --------------------------------------------------------- #
+    def get(self, name: str) -> Callable:
+        """Return the factory registered under ``name``."""
+        try:
+            return self._factories[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; available: {sorted(self._factories)}"
+            ) from None
+
+    def create(self, name: str, *args, **kwargs):
+        """Look up ``name`` and call its factory."""
+        return self.get(name)(*args, **kwargs)
+
+    def names(self) -> List[str]:
+        """Registered names, in registration order."""
+        return list(self._factories)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._factories)
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {len(self)} entries)"
+
+
+#: Workload presets: name -> ``() -> WorkloadConfig``.
+workloads = Registry("workload")
+#: Topology/system presets: name -> ``(num_cores=..., link_width_bits=...,
+#: seed=...) -> SystemConfig`` (without a workload attached).
+topologies = Registry("topology")
+
+
+def register_workload(name: str, factory: Optional[Callable] = None, **kwargs):
+    """Register a ``() -> WorkloadConfig`` factory under ``name``."""
+    return workloads.register(name, factory, **kwargs)
+
+
+def register_topology(name: str, factory: Optional[Callable] = None, **kwargs):
+    """Register a system factory (``**kwargs -> SystemConfig``) under ``name``."""
+    return topologies.register(name, factory, **kwargs)
+
+
+_seeded = False
+
+
+def ensure_seeded() -> None:
+    """Load the built-in presets into the registries (idempotent).
+
+    The flag flips only after the import succeeds, so a failed seeding
+    import is retried (and re-raised) on the next lookup instead of
+    surfacing as a misleading empty registry.
+    """
+    global _seeded
+    if _seeded:
+        return
+    # The decorators on the preset factories run at import time.
+    import repro.config.presets  # noqa: F401
+
+    _seeded = True
+
+
+def workload(name: str):
+    """Build the :class:`~repro.config.workload.WorkloadConfig` named ``name``."""
+    ensure_seeded()
+    return workloads.create(name)
+
+
+def build_system(name: str, **kwargs):
+    """Build the (workload-less) :class:`SystemConfig` for topology ``name``."""
+    ensure_seeded()
+    return topologies.create(name, **kwargs)
+
+
+def workload_names() -> List[str]:
+    """All registered workload names (built-ins first)."""
+    ensure_seeded()
+    return workloads.names()
+
+
+def topology_names() -> List[str]:
+    """All registered topology names (built-ins first)."""
+    ensure_seeded()
+    return topologies.names()

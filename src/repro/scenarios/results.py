@@ -1,0 +1,195 @@
+"""Structured sweep results: tidy records instead of bespoke nested dicts.
+
+Every executed :class:`~repro.scenarios.spec.SweepPoint` becomes one
+:class:`ResultRecord` — its coordinate values plus a flat dictionary of
+scalar metrics — and a sweep returns a :class:`ResultSet`, which knows how
+to ``filter`` by coordinates, look up a single ``value``, ``pivot`` into
+the small nested tables the figures print, and round-trip through JSON.
+The figure modules are therefore just a spec plus a few pivots; no more
+per-figure ``{workload: {label: {cores: value}}}`` shapes invented from
+scratch.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence
+
+#: Scalar metrics copied off :class:`~repro.chip.chip.SimulationResults`
+#: into every record (attribute names; properties included).
+METRIC_NAMES = (
+    "throughput_ipc",
+    "per_core_ipc",
+    "cycles",
+    "total_instructions",
+    "messages_delivered",
+    "network_mean_latency",
+    "network_mean_hops",
+    "llc_accesses",
+    "llc_hit_rate",
+    "snoop_rate",
+    "l1i_mpki",
+    "memory_reads",
+)
+
+_RESULTS_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class ResultRecord:
+    """One executed point: its coordinates, scalar metrics, and provenance.
+
+    ``result`` retains the full :class:`SimulationResults` when the sweep
+    was run with ``keep_results=True`` (the default) — the power analysis
+    needs the per-component ``network_activity`` counters, which are not
+    scalar metrics.  JSON serialisation drops it unless asked to keep it.
+    """
+
+    coords: Dict[str, object]
+    metrics: Dict[str, float]
+    point_hash: str
+    result: Optional["SimulationResults"] = field(  # noqa: F821 — lazy import
+        default=None, compare=False, repr=False
+    )
+
+    def metric(self, name: str) -> float:
+        try:
+            return self.metrics[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown metric {name!r}; available: {sorted(self.metrics)}"
+            ) from None
+
+    def matches(self, selection: Mapping) -> bool:
+        return all(self.coords.get(key) == value for key, value in selection.items())
+
+    def to_dict(self, include_result: bool = False) -> Dict[str, object]:
+        data = {
+            "coords": dict(self.coords),
+            "metrics": dict(self.metrics),
+            "point_hash": self.point_hash,
+        }
+        if include_result and self.result is not None:
+            data["result"] = self.result.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ResultRecord":
+        result = None
+        if data.get("result") is not None:
+            from repro.chip.chip import SimulationResults
+
+            result = SimulationResults.from_dict(data["result"])
+        return cls(
+            coords=dict(data["coords"]),
+            metrics=dict(data["metrics"]),
+            point_hash=str(data["point_hash"]),
+            result=result,
+        )
+
+
+def record_for(sweep_point, result, keep_result: bool = True) -> ResultRecord:
+    """Build the :class:`ResultRecord` for one executed sweep point."""
+    return ResultRecord(
+        coords=dict(sweep_point.coords),
+        metrics={name: getattr(result, name) for name in METRIC_NAMES},
+        point_hash=sweep_point.content_hash(),
+        result=result if keep_result else None,
+    )
+
+
+class ResultSet(Sequence[ResultRecord]):
+    """An ordered collection of :class:`ResultRecord`\\ s with query helpers."""
+
+    def __init__(self, records: Sequence[ResultRecord], spec=None) -> None:
+        self.records: List[ResultRecord] = list(records)
+        self.spec = spec
+
+    # -- sequence protocol ---------------------------------------------- #
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return ResultSet(self.records[index], spec=self.spec)
+        return self.records[index]
+
+    def __iter__(self) -> Iterator[ResultRecord]:
+        return iter(self.records)
+
+    def __repr__(self) -> str:
+        return f"ResultSet({len(self.records)} records)"
+
+    # -- queries -------------------------------------------------------- #
+    def filter(self, **selection) -> "ResultSet":
+        """Records whose coordinates match every ``name=value`` given."""
+        return ResultSet(
+            [record for record in self.records if record.matches(selection)],
+            spec=self.spec,
+        )
+
+    def value(self, metric: str, **selection) -> float:
+        """The single ``metric`` value selected by the coordinates given."""
+        matches = [record for record in self.records if record.matches(selection)]
+        if len(matches) != 1:
+            raise LookupError(
+                f"selection {selection!r} matched {len(matches)} records, expected 1"
+            )
+        return matches[0].metric(metric)
+
+    def axis_values(self, name: str) -> List[object]:
+        """Distinct values of coordinate ``name``, in first-seen order."""
+        seen: Dict[object, None] = {}
+        for record in self.records:
+            if name in record.coords:
+                seen.setdefault(record.coords[name])
+        return list(seen)
+
+    def pivot(
+        self,
+        index: str,
+        columns: str,
+        metric: str = "throughput_ipc",
+        transform: Optional[Callable[[float], float]] = None,
+    ) -> Dict[object, Dict[object, float]]:
+        """Nested ``{index value: {column value: metric}}`` table.
+
+        This is the shape the legacy per-figure dicts used; ``transform``
+        (e.g. a normalisation) is applied to each cell if given.
+        """
+        table: Dict[object, Dict[object, float]] = {}
+        for record in self.records:
+            row = record.coords.get(index)
+            column = record.coords.get(columns)
+            value = record.metric(metric)
+            table.setdefault(row, {})[column] = (
+                transform(value) if transform is not None else value
+            )
+        return table
+
+    # -- serialisation -------------------------------------------------- #
+    def to_dict(self, include_results: bool = False) -> Dict[str, object]:
+        return {
+            "schema": _RESULTS_SCHEMA,
+            "spec": self.spec.to_dict() if self.spec is not None else None,
+            "records": [record.to_dict(include_results) for record in self.records],
+        }
+
+    def to_json(self, include_results: bool = False, indent=None) -> str:
+        return json.dumps(self.to_dict(include_results), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ResultSet":
+        if data.get("schema") != _RESULTS_SCHEMA:
+            raise ValueError(f"unsupported ResultSet schema: {data.get('schema')!r}")
+        spec = None
+        if data.get("spec") is not None:
+            from repro.scenarios.spec import SweepSpec
+
+            spec = SweepSpec.from_dict(data["spec"])
+        return cls([ResultRecord.from_dict(item) for item in data["records"]], spec=spec)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultSet":
+        return cls.from_dict(json.loads(text))

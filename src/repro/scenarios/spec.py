@@ -1,0 +1,308 @@
+"""Declarative sweep descriptions.
+
+A :class:`SweepSpec` is *data*: named axes (each a tuple of values), the
+base :class:`~repro.experiments.harness.RunSettings`, and fixed coordinate
+overrides shared by every point.  Expanding a spec yields
+:class:`SweepPoint`\\ s — flat coordinate dictionaries paired with the
+:class:`~repro.experiments.engine.ExperimentPoint` they describe — via the
+same content-hashed configs the engine has always used, so a spec-driven
+sweep hits exactly the same cache keys as the hand-rolled loops it
+replaces.
+
+Coordinates
+-----------
+Recognised coordinate names (whether used as an axis or in ``fixed``):
+
+``workload``
+    A workload preset name (resolved through the workload registry).
+``topology``
+    A topology preset name (default ``"mesh"``, resolved through the
+    topology registry).
+``num_cores`` / ``link_width_bits`` / ``seed``
+    System parameters (defaults 64 / 128 / the settings' seed).
+anything else
+    Must be a :class:`~repro.config.noc.NocConfig` field; applied as a NoC
+    override (this is how the ablations sweep ``llc_banks_per_tile``,
+    ``tree_arbitration``, ``tree_concentration``...).
+
+An axis *value* may also be a mapping, in which case it contributes several
+coordinates at once ("zipped" axes).  Figure 9 uses this for fabrics whose
+link width depends on the topology::
+
+    SweepSpec(axes={
+        "workload": names,
+        "fabric": ({"topology": "mesh", "link_width_bits": 55}, ...),
+    }, settings=settings)
+
+Sharding
+--------
+``spec.shard(i, n)`` returns a spec whose expansion keeps only the points
+with ``content_hash % n == i``.  The hash is stable across processes and
+machines, so ``n`` machines can each run one shard against a private cache
+and the caches can be merged afterwards (:mod:`repro.scenarios.merge`);
+every point of the full spec lands in exactly one shard.
+
+Serialisation
+-------------
+``spec.to_json()`` / ``SweepSpec.from_json()`` round-trip the whole
+description (axes, settings, fixed coordinates, shard selection), so a
+sweep can be shipped to another machine as a small JSON document.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Tuple
+
+#: Coordinate names consumed directly by the system builder; everything
+#: else must name a NocConfig field.
+_SYSTEM_COORDS = ("workload", "topology", "num_cores", "link_width_bits", "seed")
+
+_SPEC_SCHEMA = 1
+
+
+class FrozenCoords(Mapping):
+    """Immutable, hashable mapping used for zipped-axis values.
+
+    Pairs are stored sorted by key so equal mappings hash equally, which
+    keeps a :class:`SweepSpec` containing zipped axes hashable (the
+    dataclass is frozen, so ``hash(spec)`` must work).
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items) -> None:
+        if isinstance(items, Mapping):
+            items = items.items()
+        self._items = tuple(
+            sorted((str(key), _freeze_value(value)) for key, value in items)
+        )
+
+    def __getitem__(self, key):
+        for name, value in self._items:
+            if name == key:
+                return value
+        raise KeyError(key)
+
+    def __iter__(self):
+        return iter(name for name, _ in self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Mapping):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"FrozenCoords({dict(self)!r})"
+
+
+def _freeze_value(value):
+    """Normalise one axis value to an immutable, hashable form."""
+    if isinstance(value, Mapping):
+        return FrozenCoords(value)
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(item) for item in value)
+    return value
+
+
+def _json_value(value):
+    """Undo :func:`_freeze_value` for JSON serialisation."""
+    if isinstance(value, Mapping):
+        return dict(value)
+    if isinstance(value, tuple):
+        return [_json_value(item) for item in value]
+    return value
+
+
+def _as_pairs(data, what: str) -> Tuple[Tuple[str, object], ...]:
+    items = data.items() if isinstance(data, Mapping) else data
+    return tuple((str(key), _freeze_value(value)) for key, value in items)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One expanded point: flat coordinates plus the engine point they build."""
+
+    coords: Dict[str, object]
+    point: "ExperimentPoint"  # noqa: F821 — imported lazily (see module docstring)
+
+    def content_hash(self) -> str:
+        return self.point.content_hash()
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep: axes x fixed overrides, under one base settings."""
+
+    axes: Tuple[Tuple[str, Tuple[object, ...]], ...]
+    settings: "RunSettings"  # noqa: F821 — imported lazily
+    fixed: Tuple[Tuple[str, object], ...] = field(default=())
+    shard_index: int = 0
+    shard_count: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "axes",
+            tuple((name, tuple(_freeze_value(v) for v in values))
+                  for name, values in _as_pairs(self.axes, "axes")),
+        )
+        object.__setattr__(self, "fixed", _as_pairs(self.fixed, "fixed"))
+        if not self.axes:
+            raise ValueError("SweepSpec needs at least one axis")
+        names = [name for name, _ in self.axes]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate axis names in {names}")
+        for name, values in self.axes:
+            if not values:
+                raise ValueError(f"axis {name!r} has no values")
+        if self.shard_count < 1:
+            raise ValueError(f"shard_count must be >= 1, got {self.shard_count}")
+        if not 0 <= self.shard_index < self.shard_count:
+            raise ValueError(
+                f"shard_index must be in [0, {self.shard_count}), got {self.shard_index}"
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def axes_dict(self) -> Dict[str, Tuple[object, ...]]:
+        """The axes as a plain ``{name: values}`` dictionary."""
+        return dict(self.axes)
+
+    @property
+    def fixed_dict(self) -> Dict[str, object]:
+        return dict(self.fixed)
+
+    def size(self) -> int:
+        """Number of points before sharding (the axes' cross product)."""
+        total = 1
+        for _, values in self.axes:
+            total *= len(values)
+        return total
+
+    # ------------------------------------------------------------------ #
+    def shard(self, index: int, count: int) -> "SweepSpec":
+        """The sub-spec holding shard ``index`` of ``count`` (by hash range)."""
+        if self.shard_count != 1:
+            raise ValueError("spec is already sharded; shard the full spec instead")
+        return replace(self, shard_index=index, shard_count=count)
+
+    def expand(self) -> List[SweepPoint]:
+        """All points of this spec (this shard only, if sharded), in axis order."""
+        points = []
+        axis_names = [name for name, _ in self.axes]
+        for combo in itertools.product(*(values for _, values in self.axes)):
+            coords: Dict[str, object] = {}
+
+            def assign(key: str, value: object) -> None:
+                if key in coords:
+                    raise ValueError(
+                        f"coordinate {key!r} set more than once (axes/fixed overlap)"
+                    )
+                coords[key] = value
+
+            for name, value in zip(axis_names, combo):
+                if isinstance(value, Mapping):
+                    for key, item in value.items():
+                        assign(str(key), item)
+                else:
+                    assign(name, value)
+            for key, value in self.fixed:
+                assign(key, value)
+            points.append(SweepPoint(coords=coords, point=point_for_coords(coords, self.settings)))
+        if self.shard_count > 1:
+            points = [
+                sp
+                for sp in points
+                if int(sp.content_hash(), 16) % self.shard_count == self.shard_index
+            ]
+        return points
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        import dataclasses as _dc
+
+        return {
+            "schema": _SPEC_SCHEMA,
+            "axes": [
+                [name, [_json_value(value) for value in values]]
+                for name, values in self.axes
+            ],
+            "settings": _dc.asdict(self.settings),
+            "fixed": [[name, _json_value(value)] for name, value in self.fixed],
+            "shard": [self.shard_index, self.shard_count],
+        }
+
+    def to_json(self, indent=None) -> str:
+        """Serialise the spec (shippable to another machine; see module docs)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SweepSpec":
+        from repro.experiments.harness import RunSettings
+
+        if data.get("schema") != _SPEC_SCHEMA:
+            raise ValueError(f"unsupported SweepSpec schema: {data.get('schema')!r}")
+        shard_index, shard_count = data.get("shard", (0, 1))
+        return cls(
+            axes=[(name, values) for name, values in data["axes"]],
+            settings=RunSettings(**data["settings"]),
+            fixed=[(name, value) for name, value in data.get("fixed", ())],
+            shard_index=shard_index,
+            shard_count=shard_count,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        return cls.from_dict(json.loads(text))
+
+
+# --------------------------------------------------------------------- #
+def point_for_coords(coords: Mapping, settings) -> "ExperimentPoint":  # noqa: F821
+    """Build the :class:`ExperimentPoint` described by one coordinate dict.
+
+    The construction mirrors ``harness.point_for`` exactly (registry system
+    factory + NoC overrides + workload), so coordinate-built points hash to
+    the same cache keys as the legacy per-figure loops.
+    """
+    import dataclasses as _dc
+
+    from repro.config.noc import NocConfig
+    from repro.experiments.engine import ExperimentPoint
+    from repro.scenarios import registry
+
+    c = dict(coords)
+    workload_name = c.pop("workload", None)
+    if workload_name is None:
+        raise ValueError(f"point coordinates {dict(coords)!r} lack a 'workload'")
+    topology_name = c.pop("topology", "mesh")
+    num_cores = c.pop("num_cores", 64)
+    link_width_bits = c.pop("link_width_bits", 128)
+    seed = c.pop("seed", settings.seed)
+
+    noc_fields = {f.name for f in _dc.fields(NocConfig)}
+    unknown = sorted(key for key in c if key not in noc_fields)
+    if unknown:
+        raise ValueError(
+            f"unknown coordinate(s) {unknown}; expected one of "
+            f"{list(_SYSTEM_COORDS)} or a NocConfig field"
+        )
+
+    config = registry.build_system(
+        str(topology_name),
+        num_cores=num_cores,
+        link_width_bits=link_width_bits,
+        seed=seed,
+    )
+    if c:
+        config = config.with_noc(_dc.replace(config.noc, **c))
+    config = config.with_workload(registry.workload(str(workload_name)))
+    return ExperimentPoint(config=config, settings=settings)

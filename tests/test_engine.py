@@ -255,6 +255,7 @@ class TestSweepExecutor:
         parallel = SweepExecutor(jobs=4, use_cache=False).run(points)
         assert serial == parallel
 
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_sweep_rejects_jobs_with_explicit_executor(self, tmp_path):
         executor = SweepExecutor(jobs=1, cache=ResultCache(tmp_path))
         with pytest.raises(ValueError):
@@ -267,6 +268,7 @@ class TestSweepExecutor:
                 executor=executor,
             )
 
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_second_sweep_served_entirely_from_cache(self, tmp_path):
         """2 workloads x 3 topologies, rerun must run zero new simulations."""
         cache = ResultCache(tmp_path)

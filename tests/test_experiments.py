@@ -33,17 +33,21 @@ class TestHarness:
     def test_run_settings_scaling(self):
         scaled = TINY.scaled(2.0)
         assert scaled.measure_cycles == 1600
-        assert scaled.warmup_references == TINY.warmup_references
+        # All three windows scale together (warmup_references used to be
+        # skipped — that was the bug fixed alongside the scenario API).
+        assert scaled.warmup_references == TINY.warmup_references * 2
 
     def test_run_settings_from_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "0.5")
         settings = RunSettings.from_env(RunSettings(measure_cycles=6000))
         assert settings.measure_cycles == 3000
+        assert settings.warmup_references == 1250
 
     def test_run_single_produces_results(self):
-        result = run_single(
-            Topology.MESH, presets.workload("Web Search"), num_cores=16, settings=TINY
-        )
+        with pytest.warns(DeprecationWarning):
+            result = run_single(
+                Topology.MESH, presets.workload("Web Search"), num_cores=16, settings=TINY
+            )
         assert result.total_instructions > 0
         assert result.topology == "mesh"
 

@@ -1,0 +1,631 @@
+"""Tests for the declarative scenario API (registries, SweepSpec, ResultSet)."""
+
+import itertools
+import json
+import os
+import time
+
+import pytest
+
+from repro.config import presets
+from repro.config.noc import Topology
+from repro.experiments.engine import (
+    ResultCache,
+    SweepExecutor,
+    default_cache_max_bytes,
+    run_experiments,
+)
+from repro.experiments.harness import (
+    MIN_DETAILED_WARMUP_CYCLES,
+    MIN_MEASURE_CYCLES,
+    MIN_WARMUP_REFERENCES,
+    RunSettings,
+    point_for,
+    run_single,
+    run_topology_sweep,
+)
+from repro.scenarios import (
+    RegistrationError,
+    Registry,
+    ResultSet,
+    SweepSpec,
+    build_system,
+    iter_results,
+    point_for_coords,
+    register_topology,
+    register_workload,
+    run_sweep,
+    topologies,
+    topology_names,
+    workload_names,
+    workloads,
+)
+from repro.scenarios.merge import merge_caches
+
+from tests._fixtures import TINY_SETTINGS, small_workload
+
+
+# --------------------------------------------------------------------- #
+# Registries
+# --------------------------------------------------------------------- #
+class TestRegistries:
+    def test_builtin_workloads_registered(self):
+        assert set(presets.WORKLOAD_NAMES) <= set(workload_names())
+
+    def test_builtin_topologies_registered(self):
+        assert set(topology_names()) >= {t.value for t in Topology}
+
+    def test_workload_lookup_matches_presets(self):
+        from repro.scenarios import workload
+
+        assert workload("Web Search") == presets.workload("Web Search")
+
+    def test_build_system_matches_presets(self):
+        built = build_system("noc_out", num_cores=16, link_width_bits=64, seed=7)
+        legacy = presets.baseline_system(
+            Topology.NOC_OUT, num_cores=16, link_width_bits=64, seed=7
+        )
+        assert built == legacy
+
+    def test_unknown_name_raises_keyerror_listing_available(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            workloads.get("HPC Linpack")
+        with pytest.raises(KeyError, match="available"):
+            topologies.get("torus")
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("thing")
+        registry.register("a", lambda: 1)
+        with pytest.raises(RegistrationError, match="already registered"):
+            registry.register("a", lambda: 2)
+        # replace=True is the explicit override escape hatch.
+        registry.register("a", lambda: 3, replace=True)
+        assert registry.create("a") == 3
+
+    def test_duplicate_workload_name_rejected(self):
+        @register_workload("__temp_workload__")
+        def _factory():
+            return small_workload()
+
+        try:
+            with pytest.raises(RegistrationError):
+                register_workload("__temp_workload__")(_factory)
+        finally:
+            workloads.unregister("__temp_workload__")
+
+    def test_registered_workload_usable_in_spec(self):
+        register_workload("__spec_workload__", small_workload)
+        try:
+            spec = SweepSpec(
+                axes={"workload": ("__spec_workload__",)},
+                settings=TINY_SETTINGS,
+                fixed={"topology": "mesh", "num_cores": 16},
+            )
+            (sweep_point,) = spec.expand()
+            assert sweep_point.point.config.workload.name == "TestWorkload"
+        finally:
+            workloads.unregister("__spec_workload__")
+
+    def test_registered_topology_usable_in_spec(self):
+        from repro.config.noc import NocConfig
+        from repro.config.system import SystemConfig
+
+        @register_topology("__narrow_mesh__")
+        def _narrow_mesh(num_cores=64, link_width_bits=32, seed=42):
+            noc = NocConfig(topology=Topology.MESH, link_width_bits=32)
+            return SystemConfig(num_cores=num_cores, noc=noc, seed=seed)
+
+        try:
+            spec = SweepSpec(
+                axes={"topology": ("__narrow_mesh__",)},
+                settings=TINY_SETTINGS,
+                fixed={"workload": "Web Search", "num_cores": 16},
+            )
+            (sweep_point,) = spec.expand()
+            assert sweep_point.point.config.noc.link_width_bits == 32
+        finally:
+            topologies.unregister("__narrow_mesh__")
+
+    def test_presets_shim_sees_registered_workload(self):
+        register_workload("__shim_workload__", small_workload)
+        try:
+            assert presets.workload("__shim_workload__").name == "TestWorkload"
+            assert "__shim_workload__" in presets.all_workloads()
+        finally:
+            workloads.unregister("__shim_workload__")
+
+
+# --------------------------------------------------------------------- #
+# SweepSpec
+# --------------------------------------------------------------------- #
+def tiny_spec(**overrides) -> SweepSpec:
+    kwargs = dict(
+        axes={
+            "workload": ("Web Search", "Data Serving"),
+            "topology": ("mesh", "noc_out"),
+            "num_cores": (4, 16),
+        },
+        settings=TINY_SETTINGS,
+    )
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+class TestSweepSpec:
+    def test_expansion_is_the_cross_product(self):
+        spec = tiny_spec()
+        points = spec.expand()
+        assert len(points) == spec.size() == 8
+        coords = [(sp.coords["workload"], sp.coords["topology"], sp.coords["num_cores"])
+                  for sp in points]
+        assert coords == list(
+            itertools.product(
+                ("Web Search", "Data Serving"), ("mesh", "noc_out"), (4, 16)
+            )
+        )
+
+    def test_points_hash_like_legacy_point_for(self):
+        spec = tiny_spec()
+        for sweep_point in spec.expand():
+            legacy = point_for(
+                Topology(sweep_point.coords["topology"]),
+                presets.workload(sweep_point.coords["workload"]),
+                num_cores=sweep_point.coords["num_cores"],
+                settings=TINY_SETTINGS,
+            )
+            assert sweep_point.content_hash() == legacy.content_hash()
+
+    def test_noc_override_coordinates(self):
+        spec = SweepSpec(
+            axes={"llc_banks_per_tile": (1, 4)},
+            settings=TINY_SETTINGS,
+            fixed={"workload": "Web Search", "topology": "noc_out", "num_cores": 16},
+        )
+        banks = [sp.point.config.noc.llc_banks_per_tile for sp in spec.expand()]
+        assert banks == [1, 4]
+
+    def test_zipped_axis_sets_several_coordinates(self):
+        spec = SweepSpec(
+            axes={
+                "fabric": (
+                    {"topology": "mesh", "link_width_bits": 64},
+                    {"topology": "noc_out", "link_width_bits": 128},
+                ),
+            },
+            settings=TINY_SETTINGS,
+            fixed={"workload": "Web Search", "num_cores": 16},
+        )
+        points = spec.expand()
+        assert [sp.point.config.noc.link_width_bits for sp in points] == [64, 128]
+        assert [sp.coords["topology"] for sp in points] == ["mesh", "noc_out"]
+
+    def test_unknown_coordinate_rejected(self):
+        spec = SweepSpec(
+            axes={"bogus_knob": (1, 2)},
+            settings=TINY_SETTINGS,
+            fixed={"workload": "Web Search"},
+        )
+        with pytest.raises(ValueError, match="bogus_knob"):
+            spec.expand()
+
+    def test_axes_fixed_overlap_rejected(self):
+        spec = tiny_spec(fixed={"num_cores": 16})
+        with pytest.raises(ValueError, match="more than once"):
+            spec.expand()
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            SweepSpec(axes={"workload": ()}, settings=TINY_SETTINGS)
+
+    def test_json_round_trip(self):
+        spec = tiny_spec(
+            axes={
+                "workload": ("Web Search",),
+                "fabric": ({"topology": "mesh", "link_width_bits": 64},),
+            },
+            fixed={"num_cores": 16},
+        ).shard(1, 3)
+        clone = SweepSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert [sp.coords for sp in clone.expand()] == [
+            sp.coords for sp in spec.expand()
+        ]
+
+    def test_spec_is_hashable_even_with_zipped_axes(self):
+        plain = tiny_spec()
+        zipped = SweepSpec(
+            axes={
+                "fabric": (
+                    {"topology": "mesh", "link_width_bits": 64},
+                    {"link_width_bits": 128, "topology": "noc_out"},
+                ),
+            },
+            settings=TINY_SETTINGS,
+            fixed={"workload": "Web Search", "num_cores": 16},
+        )
+        # Frozen dataclass => usable as dict key / set member.
+        assert len({plain, zipped, tiny_spec()}) == 2
+        # Equal mappings hash equally regardless of key order.
+        reordered = SweepSpec.from_json(zipped.to_json())
+        assert hash(reordered) == hash(zipped) and reordered == zipped
+
+    @pytest.mark.parametrize("count", [2, 3, 5])
+    def test_shards_partition_points_disjointly_and_exhaustively(self, count):
+        spec = tiny_spec()
+        full = {sp.content_hash() for sp in spec.expand()}
+        shards = [
+            {sp.content_hash() for sp in spec.shard(index, count).expand()}
+            for index in range(count)
+        ]
+        assert set().union(*shards) == full
+        assert sum(len(shard) for shard in shards) == len(full)
+
+    def test_shard_validation(self):
+        spec = tiny_spec()
+        with pytest.raises(ValueError):
+            spec.shard(2, 2)
+        with pytest.raises(ValueError):
+            spec.shard(0, 0)
+        with pytest.raises(ValueError, match="already sharded"):
+            spec.shard(0, 2).shard(0, 2)
+
+    def test_point_for_coords_requires_workload(self):
+        with pytest.raises(ValueError, match="workload"):
+            point_for_coords({"topology": "mesh"}, TINY_SETTINGS)
+
+
+# --------------------------------------------------------------------- #
+# run_sweep / iter_results / ResultSet
+# --------------------------------------------------------------------- #
+ONE_WORKLOAD_SPEC = SweepSpec(
+    axes={"topology": ("mesh", "noc_out"), "num_cores": (16, 32)},
+    settings=TINY_SETTINGS,
+    fixed={"workload": "Web Search"},
+)
+
+
+class TestRunSweep:
+    def test_records_follow_spec_order_and_carry_metrics(self):
+        results = run_sweep(ONE_WORKLOAD_SPEC)
+        assert len(results) == 4
+        assert [r.coords["topology"] for r in results] == ["mesh", "mesh", "noc_out", "noc_out"]
+        for record in results:
+            assert record.metric("throughput_ipc") > 0
+            assert record.result is not None  # keep_results defaults to True
+
+    def test_keep_results_false_drops_full_results(self):
+        results = run_sweep(ONE_WORKLOAD_SPEC, keep_results=False)
+        assert all(record.result is None for record in results)
+        assert all(record.metric("cycles") > 0 for record in results)
+
+    def test_values_match_legacy_engine_run(self):
+        results = run_sweep(ONE_WORKLOAD_SPEC)
+        legacy = run_experiments([sp.point for sp in ONE_WORKLOAD_SPEC.expand()])
+        for record, result in zip(results, legacy):
+            assert record.metric("throughput_ipc") == result.throughput_ipc
+            assert record.result == result
+
+    def test_iter_results_yields_every_record_of_blocking_call(self):
+        blocking = run_sweep(ONE_WORKLOAD_SPEC, keep_results=False)
+        streamed = list(iter_results(ONE_WORKLOAD_SPEC, keep_results=False))
+        assert {r.point_hash for r in streamed} == {r.point_hash for r in blocking}
+        by_hash = {r.point_hash: r for r in streamed}
+        for record in blocking:
+            assert by_hash[record.point_hash].metrics == record.metrics
+            assert by_hash[record.point_hash].coords == record.coords
+
+    def test_iter_results_streams_cache_hits_first(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        shard = ONE_WORKLOAD_SPEC.shard(0, 2)
+        run_sweep(shard, executor=SweepExecutor(cache=cache))
+        cached_hashes = {sp.content_hash() for sp in shard.expand()}
+
+        executor = SweepExecutor(jobs=1, cache=cache)
+        stream = iter_results(ONE_WORKLOAD_SPEC, executor=executor)
+        first = next(stream)
+        assert first.point_hash in cached_hashes  # a hit, before any simulation
+        list(stream)
+
+    def test_jobs_and_executor_are_exclusive(self):
+        with pytest.raises(ValueError):
+            run_sweep(ONE_WORKLOAD_SPEC, jobs=2, executor=SweepExecutor(jobs=1))
+
+    def test_sharded_union_equals_full_sweep(self, tmp_path):
+        full = run_sweep(ONE_WORKLOAD_SPEC, keep_results=False)
+        union = {}
+        for index in range(2):
+            for record in run_sweep(
+                ONE_WORKLOAD_SPEC.shard(index, 2), keep_results=False
+            ):
+                union[record.point_hash] = record
+        assert {r.point_hash for r in full} == set(union)
+        for record in full:
+            assert union[record.point_hash].metrics == record.metrics
+
+
+class TestResultSet:
+    def test_filter_and_value(self):
+        results = run_sweep(ONE_WORKLOAD_SPEC, keep_results=False)
+        mesh = results.filter(topology="mesh")
+        assert len(mesh) == 2
+        value = results.value("throughput_ipc", topology="mesh", num_cores=32)
+        assert value == mesh.filter(num_cores=32)[0].metric("throughput_ipc")
+        with pytest.raises(LookupError):
+            results.value("throughput_ipc", topology="mesh")  # ambiguous
+
+    def test_pivot_matches_legacy_fig1_nested_dict(self):
+        """The ResultSet pivot reproduces the pre-redesign fig1 shape exactly."""
+        from repro.experiments.fig1_scaling import figure1_spec, run_figure1
+
+        names = ["Web Search"]
+        core_counts = (1, 4)
+        curves = run_figure1(
+            workload_names=names, core_counts=core_counts, settings=TINY_SETTINGS
+        )
+
+        # Legacy computation, verbatim from the pre-redesign fig1_scaling.
+        series = ((Topology.IDEAL, "ideal"), (Topology.MESH, "mesh"))
+        keys, points = [], []
+        for name in names:
+            workload = presets.workload(name)
+            for topology, label in series:
+                for count in core_counts:
+                    keys.append((name, label, count))
+                    points.append(
+                        point_for(
+                            topology, workload, num_cores=count, settings=TINY_SETTINGS
+                        )
+                    )
+        per_core = dict(
+            zip(keys, (r.per_core_ipc for r in run_experiments(points)))
+        )
+        expected = {}
+        for name in names:
+            expected[name] = {}
+            for _, label in series:
+                baseline = per_core[(name, label, core_counts[0])]
+                expected[name][label] = {
+                    count: (per_core[(name, label, count)] / baseline if baseline else 0.0)
+                    for count in core_counts
+                }
+        assert curves == expected
+
+        # And the generic pivot helper returns the same raw table.
+        results = run_sweep(
+            figure1_spec(names, core_counts, TINY_SETTINGS), keep_results=False
+        )
+        raw = results.pivot("topology", "num_cores", "per_core_ipc")
+        assert raw["ideal"][4] == per_core[("Web Search", "ideal", 4)]
+
+    def test_axis_values_preserve_order(self):
+        results = run_sweep(ONE_WORKLOAD_SPEC, keep_results=False)
+        assert results.axis_values("topology") == ["mesh", "noc_out"]
+        assert results.axis_values("num_cores") == [16, 32]
+
+    def test_json_round_trip(self):
+        results = run_sweep(ONE_WORKLOAD_SPEC, keep_results=False)
+        clone = ResultSet.from_json(results.to_json())
+        assert len(clone) == len(results)
+        assert clone.spec == ONE_WORKLOAD_SPEC
+        for restored, original in zip(clone, results):
+            assert restored == original
+
+    def test_json_round_trip_with_full_results(self):
+        results = run_sweep(ONE_WORKLOAD_SPEC)
+        clone = ResultSet.from_json(results.to_json(include_results=True))
+        for restored, original in zip(clone, results):
+            assert restored.result == original.result
+
+
+# --------------------------------------------------------------------- #
+# Deprecation shims
+# --------------------------------------------------------------------- #
+class TestDeprecationShims:
+    def test_run_topology_sweep_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="run_topology_sweep"):
+            results = run_topology_sweep(
+                ["Web Search"], (Topology.MESH,), num_cores=16, settings=TINY_SETTINGS
+            )
+        assert results[("Web Search", Topology.MESH)].throughput_ipc > 0
+
+    def test_run_single_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="run_single"):
+            result = run_single(
+                Topology.MESH,
+                presets.workload("Web Search"),
+                num_cores=16,
+                settings=TINY_SETTINGS,
+            )
+        assert result.total_instructions > 0
+
+    def test_shim_values_match_run_sweep(self):
+        spec = SweepSpec(
+            axes={"workload": ("Web Search",), "topology": ("mesh",)},
+            settings=TINY_SETTINGS,
+            fixed={"num_cores": 16},
+        )
+        modern = run_sweep(spec)
+        with pytest.warns(DeprecationWarning):
+            legacy = run_topology_sweep(
+                ["Web Search"], (Topology.MESH,), num_cores=16, settings=TINY_SETTINGS
+            )
+        assert legacy[("Web Search", Topology.MESH)] == modern[0].result
+
+
+# --------------------------------------------------------------------- #
+# RunSettings scaling fix
+# --------------------------------------------------------------------- #
+class TestRunSettingsScaling:
+    def test_scaled_scales_all_three_windows(self):
+        settings = RunSettings(
+            warmup_references=2500, detailed_warmup_cycles=1500, measure_cycles=6000
+        )
+        scaled = settings.scaled(0.5)
+        assert scaled.warmup_references == 1250
+        assert scaled.detailed_warmup_cycles == 750
+        assert scaled.measure_cycles == 3000
+
+    def test_scaled_floor_clamps_each_window(self):
+        settings = RunSettings(
+            warmup_references=2500, detailed_warmup_cycles=1500, measure_cycles=6000
+        )
+        scaled = settings.scaled(0.01)
+        assert scaled.warmup_references == MIN_WARMUP_REFERENCES
+        assert scaled.detailed_warmup_cycles == MIN_DETAILED_WARMUP_CYCLES
+        assert scaled.measure_cycles == MIN_MEASURE_CYCLES
+
+    def test_from_env_scales_warmup_references(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "0.5")
+        settings = RunSettings.from_env(
+            RunSettings(warmup_references=2000, measure_cycles=6000)
+        )
+        assert settings.warmup_references == 1000
+        assert settings.measure_cycles == 3000
+
+    def test_identity_scale_changes_nothing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXPERIMENT_SCALE", raising=False)
+        assert RunSettings.from_env() == RunSettings()
+        assert TINY_SETTINGS.scaled(1.0) == TINY_SETTINGS
+
+
+# --------------------------------------------------------------------- #
+# Cache LRU size cap
+# --------------------------------------------------------------------- #
+def _entry_size(cache: ResultCache) -> int:
+    (path,) = cache.root.glob("*.json")
+    return path.stat().st_size
+
+
+def _set_mtimes(cache: ResultCache, points) -> None:
+    """Give the points' entries strictly increasing mtimes, oldest first."""
+    now = time.time()
+    for offset, point in enumerate(points):
+        timestamp = now - 100 + offset
+        os.utime(cache.path_for(point), (timestamp, timestamp))
+
+
+def _points():
+    return [
+        point_for(
+            Topology.MESH,
+            presets.workload("Web Search"),
+            num_cores=cores,
+            settings=TINY_SETTINGS,
+        )
+        for cores in (1, 2, 4)
+    ]
+
+
+class TestCacheSizeCap:
+    def test_lru_entries_evicted_past_cap(self, tmp_path):
+        points = _points()
+        probe = ResultCache(tmp_path)
+        SweepExecutor(jobs=1, cache=probe).run(points[:1])
+        size = _entry_size(probe)
+
+        root = tmp_path / "capped"
+        cache = ResultCache(root, max_bytes=int(2.5 * size))
+        executor = SweepExecutor(jobs=1, cache=cache)
+        executor.run(points[:2])
+        _set_mtimes(cache, points[:2])  # points[0] is least recently used
+        executor.run(points[2:])  # third store blows the cap
+
+        assert cache.load(points[0]) is None  # oldest evicted
+        assert cache.load(points[1]) is not None
+        assert cache.load(points[2]) is not None
+
+    def test_load_refreshes_recency(self, tmp_path):
+        points = _points()
+        probe = ResultCache(tmp_path)
+        SweepExecutor(jobs=1, cache=probe).run(points[:1])
+        size = _entry_size(probe)
+
+        root = tmp_path / "capped"
+        cache = ResultCache(root, max_bytes=int(2.5 * size))
+        executor = SweepExecutor(jobs=1, cache=cache)
+        executor.run(points[:2])
+        _set_mtimes(cache, points[:2])  # points[0] would be evicted next...
+        cache.load(points[0])  # ...but a hit refreshes its recency
+        executor.run(points[2:])
+
+        assert cache.load(points[0]) is not None  # refreshed, survives
+        assert cache.load(points[1]) is None  # became the LRU entry instead
+        assert len(list(cache.root.glob("*.json"))) == 2
+
+    def test_just_written_entry_is_protected(self, tmp_path):
+        points = _points()
+        probe = ResultCache(tmp_path)
+        SweepExecutor(jobs=1, cache=probe).run(points[:1])
+        size = _entry_size(probe)
+
+        cache = ResultCache(tmp_path / "tiny", max_bytes=size // 2)
+        SweepExecutor(jobs=1, cache=cache).run(points[:1])
+        assert cache.load(points[0]) is not None  # cap smaller than one entry
+
+    def test_env_var_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_MAX_MB", raising=False)
+        assert default_cache_max_bytes() is None
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "1.5")
+        assert default_cache_max_bytes() == int(1.5 * 1024 * 1024)
+        assert ResultCache("unused").max_bytes == int(1.5 * 1024 * 1024)
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "zero")
+        with pytest.raises(ValueError):
+            default_cache_max_bytes()
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "-1")
+        with pytest.raises(ValueError):
+            default_cache_max_bytes()
+
+
+# --------------------------------------------------------------------- #
+# Cache merging
+# --------------------------------------------------------------------- #
+class TestCacheMerge:
+    def test_merge_combines_shard_caches(self, tmp_path):
+        spec = ONE_WORKLOAD_SPEC
+        for index in range(2):
+            executor = SweepExecutor(jobs=1, cache=ResultCache(tmp_path / f"s{index}"))
+            run_sweep(spec.shard(index, 2), executor=executor)
+
+        merged = tmp_path / "merged"
+        stats0 = merge_caches(tmp_path / "s0", merged)
+        stats1 = merge_caches(tmp_path / "s1", merged)
+        assert stats0.copied + stats1.copied == len(spec.expand())
+        assert stats0.skipped_collisions == stats1.skipped_collisions == 0
+
+        executor = SweepExecutor(jobs=1, cache=ResultCache(merged))
+        run_sweep(spec, executor=executor)
+        assert executor.last_stats.simulations_run == 0
+
+    def test_collisions_skipped_and_content_preserved(self, tmp_path):
+        source = tmp_path / "src"
+        dest = tmp_path / "dst"
+        source.mkdir()
+        dest.mkdir()
+        name = "a" * 64 + ".json"
+        (source / name).write_text('{"from": "source"}')
+        (dest / name).write_text('{"from": "dest"}')
+        (source / "notes.txt").write_text("not a result")
+
+        stats = merge_caches(source, dest)
+        assert stats.copied == 0
+        assert stats.skipped_collisions == 1
+        assert stats.ignored_files == 1
+        assert json.loads((dest / name).read_text()) == {"from": "dest"}
+
+        stats = merge_caches(source, dest, overwrite=True)
+        assert stats.copied == 1
+        assert json.loads((dest / name).read_text()) == {"from": "source"}
+
+    def test_missing_source_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            merge_caches(tmp_path / "nope", tmp_path / "dst")
+
+    def test_cli_entry_point(self, tmp_path, capsys):
+        from repro.scenarios.merge import main
+
+        source = tmp_path / "src"
+        source.mkdir()
+        (source / ("b" * 64 + ".json")).write_text("{}")
+        assert main([str(source), str(tmp_path / "dst")]) == 0
+        assert "copied 1" in capsys.readouterr().out
+        assert main([str(tmp_path / "nope"), str(tmp_path / "dst")]) == 1
