@@ -13,7 +13,7 @@ Run with::
 """
 
 from repro import NocAreaModel, NocEnergyModel, SweepSpec, run_sweep
-from repro.analysis.report import ReportTable
+from repro.reporting.tables import ReportTable
 from repro.experiments import RunSettings
 from repro.scenarios import build_system
 

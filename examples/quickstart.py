@@ -17,7 +17,7 @@ Run with::
 """
 
 from repro import build_chip, presets
-from repro.analysis.report import ReportTable
+from repro.reporting.tables import ReportTable
 
 
 def main() -> None:

@@ -19,7 +19,7 @@ Run with::
 """
 
 from repro import SweepSpec, iter_results
-from repro.analysis.report import ReportTable
+from repro.reporting.tables import ReportTable
 from repro.experiments import RunSettings
 
 CORE_COUNTS = (1, 4, 16, 64)

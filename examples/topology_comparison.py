@@ -19,7 +19,7 @@ Run with::
 import sys
 
 from repro import NocAreaModel, SweepSpec, run_sweep
-from repro.analysis.report import ReportTable
+from repro.reporting.tables import ReportTable
 from repro.experiments import RunSettings
 from repro.scenarios import build_system, workload
 

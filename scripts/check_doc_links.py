@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""CI check: every relative Markdown link in the repo's docs resolves.
+
+Scans the top-level ``*.md`` files plus everything under ``docs/`` and
+``reports/`` for inline links (``[text](target)``), skips external
+schemes (``http(s)://``, ``mailto:``) and pure in-page anchors
+(``#...``), and verifies the target path exists relative to the file
+containing the link.  Fragments on relative links (``file.md#section``)
+are checked for file existence only.
+
+Exits non-zero listing every broken link.  Run it after
+``scripts/make_report.py`` so the generated report's links are covered
+too.
+
+Usage::
+
+    python scripts/check_doc_links.py              # default doc set
+    python scripts/check_doc_links.py README.md    # explicit files/dirs
+"""
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline Markdown links: [text](target).  Reference-style links are rare
+#: in this repo and deliberately out of scope.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Link targets that never map to a file in the repo.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def default_documents() -> List[Path]:
+    """The documents CI checks: top-level, docs/, and reports/ Markdown."""
+    documents = sorted(REPO_ROOT.glob("*.md"))
+    for directory in ("docs", "reports"):
+        documents.extend(sorted((REPO_ROOT / directory).glob("**/*.md")))
+    return documents
+
+
+def iter_documents(arguments: List[str]) -> List[Path]:
+    if not arguments:
+        return default_documents()
+    documents: List[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            documents.extend(sorted(path.glob("**/*.md")))
+        else:
+            documents.append(path)
+    return documents
+
+
+def broken_links(document: Path) -> Iterable[Tuple[int, str]]:
+    """Yield ``(line number, target)`` for every unresolvable link."""
+    inside_fence = False
+    for number, line in enumerate(document.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            inside_fence = not inside_fence
+            continue
+        if inside_fence:
+            continue
+        for match in LINK_PATTERN.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (document.parent / relative).exists():
+                yield number, target
+
+
+def main(arguments: List[str]) -> int:
+    failures = 0
+    documents = iter_documents(arguments)
+    for document in documents:
+        if not document.exists():
+            print(f"missing document: {document}")
+            failures += 1
+            continue
+        try:
+            shown = document.relative_to(REPO_ROOT)
+        except ValueError:
+            shown = document
+        for number, target in broken_links(document):
+            print(f"{shown}:{number}: broken link -> {target}")
+            failures += 1
+    checked = len(documents)
+    if failures:
+        print(f"{failures} broken link(s) across {checked} document(s)")
+        return 1
+    print(f"all relative links resolve ({checked} document(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

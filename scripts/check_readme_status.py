@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""CI check: the README's reproduction-status table matches the report.
+
+The README embeds a snapshot of the fig-by-fig status table from the
+committed ``reports/REPRODUCTION.md``.  Nothing regenerates the README
+automatically, so after a model change (and report regeneration) the
+snapshot would silently drift; this check fails until the README copy is
+refreshed with the report's current table.
+
+Run it against the *committed* report — in CI this must happen **before**
+``make_report.py`` overwrites the report at smoke scale.
+
+Usage::
+
+    python scripts/check_readme_status.py
+"""
+
+import sys
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def status_table_lines(report_text: str) -> List[str]:
+    """The Markdown table immediately following ``## Status by figure``."""
+    lines = report_text.splitlines()
+    try:
+        start = lines.index("## Status by figure")
+    except ValueError:
+        raise SystemExit("report has no '## Status by figure' section")
+    table = []
+    for line in lines[start + 1:]:
+        if line.startswith("|"):
+            table.append(line)
+        elif table:
+            break
+    if not table:
+        raise SystemExit("report's status section contains no table")
+    return table
+
+
+def main() -> int:
+    report_path = REPO_ROOT / "reports" / "REPRODUCTION.md"
+    readme_path = REPO_ROOT / "README.md"
+    table = "\n".join(status_table_lines(report_path.read_text()))
+    if table in readme_path.read_text():
+        print("README status table matches reports/REPRODUCTION.md")
+        return 0
+    print(
+        "README.md's reproduction-status table does not match the one in\n"
+        "reports/REPRODUCTION.md.  After regenerating the report, copy the\n"
+        "'## Status by figure' table into README.md's 'Reproduction status'\n"
+        "section.  Expected table:\n"
+    )
+    print(table)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

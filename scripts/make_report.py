@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Regenerate ``reports/REPRODUCTION.md`` — the repo's headline artifact.
+
+A thin wrapper over ``python -m repro.reporting`` that defaults the output
+directory to the repository's ``reports/`` (regardless of the working
+directory) and covers every figure with a digitized baseline.  On a warm
+result cache this is pure post-processing (zero simulations); otherwise
+missing points are simulated first, honouring ``REPRO_EXPERIMENT_SCALE``
+and ``REPRO_JOBS`` (or the ``--scale`` / ``--jobs`` flags).
+
+Usage::
+
+    python scripts/make_report.py                  # full report
+    python scripts/make_report.py --scale 0.1      # smoke scale (CI)
+    python scripts/make_report.py --figure fig7    # subset
+
+The committed report should be regenerated at the default scale whenever
+a model change lands (the same commits that bump ``MODEL_VERSION``).
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.reporting.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    if not any(arg == "--out" or arg.startswith("--out=") for arg in argv):
+        argv = ["--out", str(REPO_ROOT / "reports")] + argv
+    sys.exit(main(argv))

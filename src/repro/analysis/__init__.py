@@ -1,4 +1,8 @@
-"""Analysis helpers: performance metrics and plain-text report tables."""
+"""Analysis helpers: performance metrics (plus legacy table re-exports).
+
+The report tables moved to :mod:`repro.reporting.tables`;
+:mod:`repro.analysis.report` re-exports them for compatibility.
+"""
 
 from repro.analysis.metrics import geometric_mean, normalize, speedup
 from repro.analysis.report import ReportTable, format_float

@@ -1,66 +1,25 @@
-"""Plain-text tables for reproducing the paper's figures on the console."""
+"""Compatibility re-export: the report tables moved to :mod:`repro.reporting`.
 
-from __future__ import annotations
+:class:`~repro.reporting.tables.ReportTable` and friends now live in
+:mod:`repro.reporting.tables`, next to the Markdown/ASCII report layer that
+grew around them.  This module survives so existing imports keep working;
+new code should import from :mod:`repro.reporting.tables` directly.
+"""
 
-from typing import Iterable, List, Sequence, Union
+from repro.reporting.tables import (  # noqa: F401
+    Cell,
+    ReportTable,
+    format_float,
+    markdown_table,
+    print_table,
+    rows_from_dict,
+)
 
-Cell = Union[str, int, float]
-
-
-def format_float(value: float, digits: int = 3) -> str:
-    """Uniform float formatting used across benchmark output."""
-    return f"{value:.{digits}f}"
-
-
-class ReportTable:
-    """A small aligned-column text table."""
-
-    def __init__(self, columns: Sequence[str], title: str = "") -> None:
-        if not columns:
-            raise ValueError("a table needs at least one column")
-        self.title = title
-        self.columns = list(columns)
-        self.rows: List[List[str]] = []
-
-    def add_row(self, *cells: Cell) -> None:
-        if len(cells) != len(self.columns):
-            raise ValueError(
-                f"expected {len(self.columns)} cells, got {len(cells)}"
-            )
-        self.rows.append([self._format(cell) for cell in cells])
-
-    @staticmethod
-    def _format(cell: Cell) -> str:
-        if isinstance(cell, float):
-            return format_float(cell)
-        return str(cell)
-
-    def render(self) -> str:
-        widths = [len(c) for c in self.columns]
-        for row in self.rows:
-            for index, cell in enumerate(row):
-                widths[index] = max(widths[index], len(cell))
-        lines = []
-        if self.title:
-            lines.append(self.title)
-        header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(self.columns))
-        lines.append(header)
-        lines.append("  ".join("-" * w for w in widths))
-        for row in self.rows:
-            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
-        return "\n".join(lines)
-
-    def __str__(self) -> str:
-        return self.render()
-
-
-def print_table(table: ReportTable) -> None:
-    """Print a table with a leading/trailing blank line for readability."""
-    print()
-    print(table.render())
-    print()
-
-
-def rows_from_dict(mapping: dict) -> Iterable[tuple]:
-    """Convenience: (key, value) rows sorted by key."""
-    return sorted(mapping.items())
+__all__ = [
+    "Cell",
+    "ReportTable",
+    "format_float",
+    "markdown_table",
+    "print_table",
+    "rows_from_dict",
+]

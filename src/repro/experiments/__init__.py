@@ -5,7 +5,10 @@ Each figure module declares its sweep as a
 a ``run_*`` entry point that executes the spec with
 :func:`~repro.scenarios.run.run_sweep` and pivots the resulting
 :class:`~repro.scenarios.results.ResultSet` into the figure's table shape,
-plus a ``render_*`` helper producing the text table the benchmarks print.
+plus a ``render_*`` helper producing the text table the benchmarks print
+and a ``*_report`` hook producing the paper-vs-measured
+:class:`~repro.reporting.compare.FigureReport` consumed by
+``python -m repro.reporting`` (see :mod:`repro.reporting`).
 The benchmark suite under ``benchmarks/`` is a thin wrapper around these
 functions, so the full evaluation can also be driven programmatically (see
 ``examples/`` and :mod:`repro.scenarios`).
@@ -23,12 +26,7 @@ from repro.experiments.engine import (
     SweepExecutor,
     run_experiments,
 )
-from repro.experiments.harness import (
-    RunSettings,
-    point_for,
-    run_single,
-    run_topology_sweep,
-)
+from repro.experiments.harness import RunSettings, point_for
 from repro.experiments import (
     ablations,
     engine,
@@ -50,8 +48,6 @@ __all__ = [
     "engine",
     "point_for",
     "run_experiments",
-    "run_single",
-    "run_topology_sweep",
     "ablations",
     "fig1_scaling",
     "fig4_snoops",

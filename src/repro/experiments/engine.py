@@ -17,6 +17,9 @@ parallel.  This module turns a sweep into explicit data:
 
 Environment variables
 ---------------------
+(The canonical ``REPRO_*`` reference table lives in
+``docs/experiments.md``; this list covers the engine's own knobs.)
+
 ``REPRO_JOBS``
     Worker processes for a sweep.  ``1`` forces the serial path.
 ``REPRO_CACHE_DIR``

@@ -12,21 +12,16 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional
 
-from repro.analysis.report import ReportTable
 from repro.config import presets
 from repro.experiments.harness import RunSettings
+from repro.reporting import baselines
+from repro.reporting.compare import FigureReport, compare
+from repro.reporting.tables import ReportTable
 from repro.scenarios import SweepSpec, run_sweep
 
-#: Approximate per-workload values read off Figure 4 (percent).
-PAPER_REFERENCE = {
-    "Data Serving": 0.6,
-    "MapReduce-C": 1.8,
-    "MapReduce-W": 1.5,
-    "SAT Solver": 2.6,
-    "Web Frontend": 4.2,
-    "Web Search": 1.6,
-    "Mean": 2.0,
-}
+#: Approximate per-workload values read off Figure 4 (percent), digitized
+#: in :mod:`repro.reporting.baselines`.
+PAPER_REFERENCE = dict(baselines.FIG4.values)
 
 
 def figure4_spec(
@@ -48,16 +43,52 @@ def run_figure4(
     num_cores: int = 64,
     settings: Optional[RunSettings] = None,
     jobs: Optional[int] = None,
+    executor=None,
 ) -> Dict[str, float]:
     """Snoop-triggering LLC access percentage per workload (plus the mean)."""
     spec = figure4_spec(workload_names, num_cores, settings)
-    results = run_sweep(spec, jobs=jobs, keep_results=False)
+    results = run_sweep(spec, jobs=jobs, executor=executor, keep_results=False)
     names = results.axis_values("workload")
     rates: Dict[str, float] = {
         name: 100.0 * results.value("snoop_rate", workload=name) for name in names
     }
     rates["Mean"] = sum(rates[n] for n in names) / len(names)
     return rates
+
+
+def figure4_report(
+    workload_names: Optional[Iterable[str]] = None,
+    num_cores: int = 64,
+    settings: Optional[RunSettings] = None,
+    jobs: Optional[int] = None,
+    executor=None,
+) -> FigureReport:
+    """Paper-vs-measured report for Figure 4 (snoop rates per workload).
+
+    The ``Mean`` baseline point is compared only when every baseline
+    workload was measured, and is then computed over exactly the paper's
+    six — a restricted or extended workload set would not be the paper's
+    mean.
+    """
+    rates = run_figure4(workload_names, num_cores, settings, jobs=jobs, executor=executor)
+    names = [name for name in rates if name != "Mean"]
+    baseline_workloads = [k for k in baselines.FIG4.keys() if k != "Mean"]
+    measured = {name: rates[name] for name in names if name in baselines.FIG4.values}
+    notes = ""
+    if set(baseline_workloads) <= set(names):
+        measured["Mean"] = sum(rates[n] for n in baseline_workloads) / len(
+            baseline_workloads
+        )
+    else:
+        notes = (
+            f"Mean not compared: only {sorted(names)} measured, the paper's "
+            "mean covers all six workloads."
+        )
+    return FigureReport(
+        comparison=compare(baselines.FIG4, measured),
+        measured_table=render_figure4(rates).render(),
+        notes=notes,
+    )
 
 
 def render_figure4(rates: Dict[str, float]) -> ReportTable:

@@ -15,23 +15,18 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional
 
 from repro.analysis.metrics import geometric_mean
-from repro.analysis.report import ReportTable
 from repro.config import presets
 from repro.config.noc import Topology
 from repro.experiments.harness import RunSettings
+from repro.reporting import baselines
+from repro.reporting.baselines import KEY_SEPARATOR
+from repro.reporting.compare import FigureReport, compare
+from repro.reporting.tables import ReportTable
 from repro.scenarios import ResultSet, SweepSpec, run_sweep
 
-#: Approximate values read off Figure 7 (normalised to mesh = 1.0).  Used
-#: for paper-vs-measured comparison in EXPERIMENTS.md, not for validation.
-PAPER_REFERENCE = {
-    "Data Serving": {"flattened_butterfly": 1.31, "noc_out": 1.27},
-    "MapReduce-C": {"flattened_butterfly": 1.17, "noc_out": 1.17},
-    "MapReduce-W": {"flattened_butterfly": 1.14, "noc_out": 1.14},
-    "SAT Solver": {"flattened_butterfly": 1.12, "noc_out": 1.12},
-    "Web Frontend": {"flattened_butterfly": 1.19, "noc_out": 1.19},
-    "Web Search": {"flattened_butterfly": 1.07, "noc_out": 1.10},
-    "GMean": {"flattened_butterfly": 1.17, "noc_out": 1.17},
-}
+#: Approximate values read off Figure 7 (normalised to mesh = 1.0),
+#: digitized in :mod:`repro.reporting.baselines`.
+PAPER_REFERENCE = baselines.FIG7.nested()
 
 TOPOLOGIES = (Topology.MESH, Topology.FLATTENED_BUTTERFLY, Topology.NOC_OUT)
 #: Topology preset names, in the figure's column order.
@@ -79,10 +74,59 @@ def run_figure7(
     num_cores: int = 64,
     settings: Optional[RunSettings] = None,
     jobs: Optional[int] = None,
+    executor=None,
 ) -> Dict[str, Dict[str, float]]:
     """Run the Figure-7 sweep; returns normalised performance per workload."""
     spec = figure7_spec(workload_names, num_cores, settings)
-    return normalise_to_mesh(run_sweep(spec, jobs=jobs, keep_results=False))
+    return normalise_to_mesh(
+        run_sweep(spec, jobs=jobs, executor=executor, keep_results=False)
+    )
+
+
+def figure7_report(
+    workload_names: Optional[Iterable[str]] = None,
+    num_cores: int = 64,
+    settings: Optional[RunSettings] = None,
+    jobs: Optional[int] = None,
+    executor=None,
+) -> FigureReport:
+    """Paper-vs-measured report for Figure 7 (throughput vs. the mesh).
+
+    Each measured ``workload / fabric`` cell is compared against its
+    digitized bar.  The ``GMean`` rows are only compared when all six
+    baseline workloads were measured, and are then recomputed over exactly
+    those six — a run with extra registered workloads would otherwise score
+    a different mean against the paper's.
+    """
+    normalised = run_figure7(
+        workload_names, num_cores, settings, jobs=jobs, executor=executor
+    )
+    baseline_workloads = {
+        key.split(KEY_SEPARATOR)[0] for key in baselines.FIG7.keys()
+    } - {"GMean"}
+    measured_workloads = set(normalised) - {"GMean"}
+    measured: Dict[str, float] = {}
+    for name, row in normalised.items():
+        if name == "GMean":
+            continue
+        for topology, value in row.items():
+            measured[f"{name}{KEY_SEPARATOR}{topology}"] = value
+    notes = ""
+    if baseline_workloads <= measured_workloads:
+        for topology in normalised["GMean"]:
+            measured[f"GMean{KEY_SEPARATOR}{topology}"] = geometric_mean(
+                [normalised[name][topology] for name in sorted(baseline_workloads)]
+            )
+    else:
+        notes = (
+            f"GMean not compared: only {sorted(measured_workloads)} measured, "
+            "the paper's geometric mean covers all six workloads."
+        )
+    return FigureReport(
+        comparison=compare(baselines.FIG7, measured),
+        measured_table=render_figure7(normalised).render(),
+        notes=notes,
+    )
 
 
 def render_figure7(normalised: Dict[str, Dict[str, float]]) -> ReportTable:

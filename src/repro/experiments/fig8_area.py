@@ -14,17 +14,16 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.analysis.report import ReportTable
 from repro.config.noc import Topology
 from repro.power.area_model import AreaBreakdown, NocAreaModel
+from repro.reporting import baselines
+from repro.reporting.compare import FigureReport, compare
+from repro.reporting.tables import ReportTable
 from repro.scenarios import build_system
 
-#: Total NoC areas reported by the paper (mm2).
-PAPER_REFERENCE = {
-    "mesh": 3.5,
-    "flattened_butterfly": 23.0,
-    "noc_out": 2.5,
-}
+#: Total NoC areas reported by the paper (mm2), digitized in
+#: :mod:`repro.reporting.baselines`.
+PAPER_REFERENCE = dict(baselines.FIG8.values)
 
 TOPOLOGIES = (Topology.MESH, Topology.FLATTENED_BUTTERFLY, Topology.NOC_OUT)
 
@@ -43,6 +42,24 @@ def run_figure8(
         )
         breakdowns[topology.value] = model.breakdown(config)
     return breakdowns
+
+
+def figure8_report(
+    num_cores: int = 64,
+    link_width_bits: int = 128,
+    area_model: Optional[NocAreaModel] = None,
+) -> FigureReport:
+    """Paper-vs-measured report for Figure 8 (total NoC area per fabric).
+
+    Purely analytic — the area model reads static topology descriptors, so
+    this report never simulates and needs no cache.
+    """
+    breakdowns = run_figure8(num_cores, link_width_bits, area_model)
+    measured = {name: breakdown.total_mm2 for name, breakdown in breakdowns.items()}
+    return FigureReport(
+        comparison=compare(baselines.FIG8, measured),
+        measured_table=render_figure8(breakdowns).render(),
+    )
 
 
 def render_figure8(breakdowns: Dict[str, AreaBreakdown]) -> ReportTable:

@@ -16,20 +16,20 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Tuple
 
-from repro.analysis.report import ReportTable
+from repro.analysis.metrics import geometric_mean
 from repro.config import presets
 from repro.config.noc import Topology
 from repro.experiments.harness import RunSettings
 from repro.experiments.fig7_performance import normalise_to_mesh
 from repro.power.area_model import NocAreaModel, link_width_for_area_budget
+from repro.reporting import baselines
+from repro.reporting.compare import FigureReport, compare
+from repro.reporting.tables import ReportTable
 from repro.scenarios import SweepSpec, run_sweep
 
-#: Paper reference (geometric mean, normalised to the area-budgeted mesh).
-PAPER_REFERENCE = {
-    "mesh": 1.0,
-    "flattened_butterfly": 0.72,
-    "noc_out": 1.19,
-}
+#: Paper reference (geometric mean, normalised to the area-budgeted mesh),
+#: digitized in :mod:`repro.reporting.baselines`.
+PAPER_REFERENCE = dict(baselines.FIG9.values)
 
 TOPOLOGIES = (Topology.MESH, Topology.FLATTENED_BUTTERFLY, Topology.NOC_OUT)
 
@@ -78,6 +78,7 @@ def run_figure9(
     num_cores: int = 64,
     settings: Optional[RunSettings] = None,
     jobs: Optional[int] = None,
+    executor=None,
 ) -> Dict[str, object]:
     """Run the area-normalised comparison.
 
@@ -86,12 +87,54 @@ def run_figure9(
     """
     budget, widths = area_budget_link_widths(num_cores=num_cores)
     spec = figure9_spec(workload_names, num_cores, settings, link_widths=widths)
-    results = run_sweep(spec, jobs=jobs, keep_results=False)
+    results = run_sweep(spec, jobs=jobs, executor=executor, keep_results=False)
     return {
         "area_budget_mm2": budget,
         "link_widths": {topology.value: width for topology, width in widths.items()},
         "normalised_performance": normalise_to_mesh(results),
     }
+
+
+def figure9_report(
+    workload_names: Optional[Iterable[str]] = None,
+    num_cores: int = 64,
+    settings: Optional[RunSettings] = None,
+    jobs: Optional[int] = None,
+    executor=None,
+) -> FigureReport:
+    """Paper-vs-measured report for Figure 9 (area-budgeted fabrics).
+
+    The baseline digitizes the geometric-mean bars, so the comparison only
+    engages when all six paper workloads were measured (and is then
+    computed over exactly those six, ignoring extra registered workloads);
+    a reduced run still renders its measured table but reads as
+    ``no-data``.
+    """
+    # Materialise once: the argument may be a single-pass iterable.
+    names = tuple(workload_names) if workload_names is not None else None
+    outcome = run_figure9(names, num_cores, settings, jobs=jobs, executor=executor)
+    normalised = outcome["normalised_performance"]
+    paper_workloads = sorted(presets.WORKLOAD_NAMES)
+    full_set = names is None or set(names) >= set(paper_workloads)
+    measured = (
+        {
+            topology: geometric_mean(
+                [normalised[name][topology] for name in paper_workloads]
+            )
+            for topology in normalised["GMean"]
+        }
+        if full_set
+        else {}
+    )
+    notes = "" if full_set else (
+        "GMean not compared: reduced workload set, the paper's geometric "
+        "mean covers all six workloads."
+    )
+    return FigureReport(
+        comparison=compare(baselines.FIG9, measured),
+        measured_table=render_figure9(outcome).render(),
+        notes=notes,
+    )
 
 
 def render_figure9(outcome: Dict[str, object]) -> ReportTable:

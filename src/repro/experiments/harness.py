@@ -1,21 +1,20 @@
 """Shared machinery for running the paper's experiments.
 
-The sweep-shaped entry points that used to live here
-(:func:`run_topology_sweep`, :func:`run_single`) are deprecated shims over
-the declarative scenario API (:mod:`repro.scenarios`): describe the sweep
-as a :class:`~repro.scenarios.spec.SweepSpec` and run it with
-:func:`~repro.scenarios.run.run_sweep` instead.
+:class:`RunSettings` (the warm-up and measurement windows, scalable via
+``REPRO_EXPERIMENT_SCALE``) plus the config/point builders the scenario
+layer expands through.  Sweeps themselves are declared as
+:class:`~repro.scenarios.spec.SweepSpec`\\ s and run with
+:func:`~repro.scenarios.run.run_sweep`; the pre-scenario entry points
+(``run_topology_sweep`` / ``run_single``) were removed after their one
+deprecation release.
 """
 
 from __future__ import annotations
 
 import os
-import warnings
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Optional
 
-from repro.chip.chip import SimulationResults
-from repro.config import presets
 from repro.config.noc import Topology
 from repro.config.system import SystemConfig
 from repro.config.workload import WorkloadConfig
@@ -129,94 +128,3 @@ def point_for(
         noc_overrides=noc_overrides,
     )
     return ExperimentPoint(config=config, settings=settings)
-
-
-def run_single(
-    topology: Topology,
-    workload: WorkloadConfig,
-    num_cores: int = 64,
-    link_width_bits: int = 128,
-    settings: Optional[RunSettings] = None,
-    noc_overrides: Optional[dict] = None,
-) -> SimulationResults:
-    """Run one (topology, workload) point and return its measurements.
-
-    .. deprecated::
-        Describe the point as a one-axis :class:`~repro.scenarios.spec.SweepSpec`
-        and use :func:`repro.scenarios.run.run_sweep` instead.  This shim
-        survives for one release.
-    """
-    warnings.warn(
-        "run_single is deprecated; build a SweepSpec and use "
-        "repro.scenarios.run_sweep instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.experiments.engine import run_experiments
-
-    point = point_for(
-        topology,
-        workload,
-        num_cores=num_cores,
-        link_width_bits=link_width_bits,
-        settings=settings,
-        noc_overrides=noc_overrides,
-    )
-    return run_experiments([point])[0]
-
-
-def run_topology_sweep(
-    workload_names: Iterable[str],
-    topologies: Iterable[Topology],
-    num_cores: int = 64,
-    settings: Optional[RunSettings] = None,
-    link_widths: Optional[Dict[Topology, int]] = None,
-    jobs: Optional[int] = None,
-    executor: Optional["SweepExecutor"] = None,
-) -> Dict[Tuple[str, Topology], SimulationResults]:
-    """Run the cross product of workloads and topologies.
-
-    .. deprecated::
-        Describe the cross product as a
-        :class:`~repro.scenarios.spec.SweepSpec` (axes ``workload`` x
-        ``topology``) and use :func:`repro.scenarios.run.run_sweep`; the
-        returned :class:`~repro.scenarios.results.ResultSet` replaces this
-        function's ``{(workload, topology): results}`` dictionary.  This
-        shim survives for one release.
-
-    The sweep goes through the experiment engine: points are deduplicated,
-    served from the on-disk result cache when possible, and the remainder
-    fans out over ``jobs`` worker processes (``REPRO_JOBS`` /
-    ``os.cpu_count()`` by default).  Pass an explicit ``executor`` to share
-    a cache or inspect :attr:`SweepExecutor.last_stats` afterwards.
-    """
-    warnings.warn(
-        "run_topology_sweep is deprecated; build a SweepSpec and use "
-        "repro.scenarios.run_sweep instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.experiments.engine import SweepExecutor
-
-    if executor is not None and jobs is not None:
-        raise ValueError("pass either jobs or an explicit executor, not both")
-    settings = settings or RunSettings.from_env()
-    link_widths = link_widths or {}
-    keys: list = []
-    points: list = []
-    for name in workload_names:
-        workload = presets.workload(name)
-        for topology in topologies:
-            width = link_widths.get(topology, 128)
-            keys.append((name, topology))
-            points.append(
-                point_for(
-                    topology,
-                    workload,
-                    num_cores=num_cores,
-                    link_width_bits=width,
-                    settings=settings,
-                )
-            )
-    executor = executor or SweepExecutor(jobs=jobs)
-    return dict(zip(keys, executor.run(points)))

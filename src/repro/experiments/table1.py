@@ -4,8 +4,8 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.analysis.report import ReportTable
 from repro.config import presets
+from repro.reporting.tables import ReportTable
 
 
 def run_table1() -> Dict[str, str]:

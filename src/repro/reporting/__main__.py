@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.reporting`` (see :mod:`repro.reporting.cli`)."""
+
+import sys
+
+from repro.reporting.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,234 @@
+"""``python -m repro.reporting`` — generate the paper-vs-measured report.
+
+Resolves each requested figure's ``*_spec()`` sweep through the result
+cache: on a warm cache the whole report is pure post-processing (zero new
+simulations — the executor's cache-hit counters prove it and are printed
+at the end); on a cold cache the missing points are simulated at the
+requested scale first.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.reporting                    # all figures
+    PYTHONPATH=src python -m repro.reporting --figure fig1      # one figure
+    PYTHONPATH=src python -m repro.reporting --scale 0.1 \\
+        --workloads "Web Search" --cores 4,8,16                 # smoke scale
+
+The report lands in ``reports/REPRODUCTION.md`` (``--out`` to change) and
+its content is byte-stable for a given cache + parameters, so regenerating
+without code or cache changes is a no-op diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.engine import SweepExecutor, SweepStats
+from repro.experiments.harness import RunSettings
+from repro.reporting.compare import FigureReport
+from repro.reporting.figures import build_report, report_names
+from repro.reporting.render import render_report
+
+#: Default output directory (relative to the working directory).
+DEFAULT_OUT_DIR = "reports"
+#: Report file name inside the output directory.
+REPORT_FILENAME = "REPRODUCTION.md"
+
+
+class CountingExecutor(SweepExecutor):
+    """A :class:`SweepExecutor` that also accumulates stats across sweeps.
+
+    ``last_stats`` is reset by every ``run_iter`` call, which hides the
+    total cost of a multi-sweep report; ``total_stats`` keeps the running
+    sums (and is what the CLI prints and the zero-re-simulation test
+    asserts on).
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.total_stats = SweepStats()
+
+    def run_iter(self, points):
+        before = self.last_stats
+        try:
+            yield from super().run_iter(points)
+        finally:
+            # Accumulate in a finally so an abandoned stream (consumer
+            # breaks out of iter_results) still contributes what the base
+            # class recorded — it keeps last_stats accurate on abandonment,
+            # and total_stats must preserve that guarantee.
+            stats = self.last_stats
+            if stats is not before:  # run_iter installed a fresh SweepStats
+                self.total_stats.cache_hits += stats.cache_hits
+                self.total_stats.cache_misses += stats.cache_misses
+                self.total_stats.simulations_run += stats.simulations_run
+
+
+def generate(
+    figures: Optional[Sequence[str]] = None,
+    out_dir: str = DEFAULT_OUT_DIR,
+    settings: Optional[RunSettings] = None,
+    jobs: Optional[int] = None,
+    workload_names: Optional[Sequence[str]] = None,
+    core_counts: Optional[Sequence[int]] = None,
+    executor: Optional[SweepExecutor] = None,
+) -> Dict[str, object]:
+    """Build the reports and write ``REPRODUCTION.md``.
+
+    Returns ``{"path", "text", "reports", "stats"}`` — the written path,
+    the report text, the per-figure :class:`FigureReport`\\ s, and the
+    executor's accumulated :class:`SweepStats` (``stats`` is ``None`` when
+    a caller-supplied executor without ``total_stats`` was used).
+    """
+    names = list(figures) if figures else report_names()
+    unknown = [name for name in names if name not in report_names()]
+    if unknown:
+        raise KeyError(f"unknown figure(s) {unknown}; available: {report_names()}")
+    settings = settings or RunSettings.from_env()
+    executor = executor if executor is not None else CountingExecutor(jobs=jobs)
+
+    reports: List[FigureReport] = [
+        build_report(
+            name,
+            settings=settings,
+            executor=executor,
+            workload_names=list(workload_names) if workload_names else None,
+            core_counts=tuple(core_counts) if core_counts else None,
+        )
+        for name in names
+    ]
+
+    parameters: Dict[str, object] = {
+        "figures": ", ".join(names),
+        "run windows": (
+            f"warmup_references={settings.warmup_references}, "
+            f"detailed_warmup_cycles={settings.detailed_warmup_cycles}, "
+            f"measure_cycles={settings.measure_cycles}, seed={settings.seed}"
+        ),
+        "workloads": ", ".join(workload_names) if workload_names else "paper default",
+    }
+    if core_counts:
+        parameters["core counts (fig1)"] = ", ".join(str(c) for c in core_counts)
+
+    text = render_report(reports, parameters)
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / REPORT_FILENAME
+    path.write_text(text)
+    return {
+        "path": path,
+        "text": text,
+        "reports": reports,
+        "stats": getattr(executor, "total_stats", None),
+    }
+
+
+def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.reporting",
+        description="Generate the paper-vs-measured reproduction report.",
+    )
+    parser.add_argument(
+        "--figure",
+        action="append",
+        dest="figures",
+        metavar="NAME",
+        help=f"figure to report (repeatable; default: all of {report_names()})",
+    )
+    parser.add_argument(
+        "--out", default=DEFAULT_OUT_DIR, help="output directory (default: reports/)"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help=(
+            "experiment scale for any points not in the cache (overrides "
+            "REPRO_EXPERIMENT_SCALE; default: honour the environment)"
+        ),
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="worker processes (default: REPRO_JOBS)"
+    )
+    parser.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated workload subset (default: the paper's six)",
+    )
+    parser.add_argument(
+        "--cores",
+        default=None,
+        help="comma-separated Figure-1 core counts (default: 1,2,...,64)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list reportable figures and exit"
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _parse_args(argv)
+    if args.list:
+        for name in report_names():
+            print(name)
+        return 0
+    if args.scale is not None:
+        if args.scale <= 0:
+            print("--scale must be positive", file=sys.stderr)
+            return 2
+        settings = RunSettings().scaled(args.scale)
+    else:
+        settings = RunSettings.from_env()
+
+    # Validate user-supplied names up front so typos exit cleanly with the
+    # available options, while genuine programming errors deeper in the
+    # figure hooks still surface as tracebacks.
+    unknown_figures = [
+        name for name in (args.figures or ()) if name not in report_names()
+    ]
+    if unknown_figures:
+        print(
+            f"unknown figure(s) {unknown_figures}; available: {report_names()}",
+            file=sys.stderr,
+        )
+        return 2
+    workloads = (
+        [w.strip() for w in args.workloads.split(",") if w.strip()]
+        if args.workloads
+        else None
+    )
+    if workloads:
+        from repro.scenarios import workload_names as registered_workloads
+
+        unknown_workloads = [w for w in workloads if w not in registered_workloads()]
+        if unknown_workloads:
+            print(
+                f"unknown workload(s) {unknown_workloads}; "
+                f"available: {registered_workloads()}",
+                file=sys.stderr,
+            )
+            return 2
+
+    outcome = generate(
+        figures=args.figures,
+        out_dir=args.out,
+        settings=settings,
+        jobs=args.jobs,
+        workload_names=workloads,
+        core_counts=(
+            [int(c) for c in args.cores.split(",") if c.strip()]
+            if args.cores
+            else None
+        ),
+    )
+    stats = outcome["stats"]
+    print(f"wrote {outcome['path']}")
+    if stats is not None:
+        print(
+            f"cache hits: {stats.cache_hits}, misses: {stats.cache_misses}, "
+            f"simulations run: {stats.simulations_run}"
+        )
+    return 0

@@ -1,0 +1,195 @@
+"""Paper-vs-measured deltas: per-point errors and per-figure summaries.
+
+:func:`compare` pairs a figure's :class:`~repro.reporting.baselines.Baseline`
+with a flat ``{point key: measured value}`` mapping and produces a
+:class:`FigureComparison` — one :class:`PointDelta` per baseline point
+(absolute error, relative error, within-tolerance verdict) plus summary
+statistics and an overall status:
+
+``pass``
+    Every baseline point was measured and landed inside the tolerance band.
+``fail``
+    At least one measured point fell outside the band.
+``partial``
+    All measured points are inside the band, but some baseline points have
+    no measurement (e.g. a reduced-scale run covering fewer workloads).
+``no-data``
+    Nothing was measured (cold cache, or the figure was skipped).
+
+Measured keys with no baseline counterpart are ignored — the report is a
+statement about the paper's published numbers, and extra measured points
+have nothing to be compared against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional
+
+from repro.reporting.baselines import Baseline
+
+#: Status constants (also the strings rendered in the report).
+STATUS_PASS = "pass"
+STATUS_FAIL = "fail"
+STATUS_PARTIAL = "partial"
+STATUS_NO_DATA = "no-data"
+
+
+@dataclass(frozen=True)
+class PointDelta:
+    """One baseline point next to its measurement (if any).
+
+    ``measured is None`` means the point was not measured (missing from the
+    measured mapping); its errors and verdict are then ``None`` too.
+    """
+
+    key: str
+    paper: float
+    measured: Optional[float]
+    unit: str
+
+    @property
+    def abs_error(self) -> Optional[float]:
+        """``|measured - paper|`` in the baseline's unit."""
+        if self.measured is None:
+            return None
+        return abs(self.measured - self.paper)
+
+    @property
+    def rel_error(self) -> Optional[float]:
+        """Absolute error relative to the paper value (``None`` if paper=0)."""
+        if self.measured is None or self.paper == 0:
+            return None
+        return abs(self.measured - self.paper) / abs(self.paper)
+
+    def within(self, rel_tolerance: float, abs_tolerance: float) -> Optional[bool]:
+        """Inside the band?  The boundary itself counts as inside.
+
+        The comparisons use a hair of slack (:func:`math.isclose`) so a
+        point sitting *exactly* on the tolerance boundary is not pushed
+        outside by floating-point representation error (1.10 - 1.0 is a
+        touch more than 0.1 in binary).
+        """
+        if self.measured is None:
+            return None
+
+        def at_most(error: float, bound: float) -> bool:
+            return error <= bound or math.isclose(error, bound, rel_tol=1e-9)
+
+        error = self.abs_error
+        if at_most(error, abs_tolerance):
+            return True
+        return at_most(error, rel_tolerance * abs(self.paper))
+
+
+@dataclass
+class FigureComparison:
+    """Every baseline point of one figure compared against measurements."""
+
+    figure: str
+    title: str
+    quantity: str
+    unit: str
+    rel_tolerance: float
+    abs_tolerance: float
+    source: str
+    deltas: List[PointDelta] = field(default_factory=list)
+    notes: str = ""
+
+    # -- per-point verdicts --------------------------------------------- #
+    def verdict(self, delta: PointDelta) -> Optional[bool]:
+        """``delta``'s within-tolerance verdict under this figure's band."""
+        return delta.within(self.rel_tolerance, self.abs_tolerance)
+
+    # -- summary statistics --------------------------------------------- #
+    @property
+    def n_points(self) -> int:
+        """Baseline points in the figure."""
+        return len(self.deltas)
+
+    @property
+    def n_measured(self) -> int:
+        """Baseline points that have a measurement."""
+        return sum(1 for d in self.deltas if d.measured is not None)
+
+    @property
+    def n_within(self) -> int:
+        """Measured points inside the tolerance band."""
+        return sum(1 for d in self.deltas if self.verdict(d))
+
+    @property
+    def max_rel_error(self) -> Optional[float]:
+        """Worst relative error across measured points (``None`` if no data)."""
+        errors = [d.rel_error for d in self.deltas if d.rel_error is not None]
+        return max(errors) if errors else None
+
+    @property
+    def mean_rel_error(self) -> Optional[float]:
+        """Mean relative error across measured points (``None`` if no data)."""
+        errors = [d.rel_error for d in self.deltas if d.rel_error is not None]
+        return sum(errors) / len(errors) if errors else None
+
+    @property
+    def status(self) -> str:
+        """Overall verdict: pass / fail / partial / no-data (see module docs)."""
+        if self.n_measured == 0:
+            return STATUS_NO_DATA
+        if any(self.verdict(d) is False for d in self.deltas):
+            return STATUS_FAIL
+        if self.n_measured < self.n_points:
+            return STATUS_PARTIAL
+        return STATUS_PASS
+
+
+def compare(baseline: Baseline, measured: Mapping[str, float]) -> FigureComparison:
+    """Compare ``measured`` values against ``baseline``, point by point.
+
+    ``measured`` maps the baseline's point keys to measured values; missing
+    keys become unmeasured :class:`PointDelta`\\ s (the figure then reads as
+    ``partial`` at best), and extra keys are ignored.
+    """
+    deltas = [
+        PointDelta(
+            key=key,
+            paper=paper,
+            measured=measured.get(key),
+            unit=baseline.unit,
+        )
+        for key, paper in baseline.values.items()
+    ]
+    return FigureComparison(
+        figure=baseline.figure,
+        title=baseline.title,
+        quantity=baseline.quantity,
+        unit=baseline.unit,
+        rel_tolerance=baseline.rel_tolerance,
+        abs_tolerance=baseline.abs_tolerance,
+        source=baseline.source,
+        deltas=deltas,
+        notes=baseline.notes,
+    )
+
+
+@dataclass
+class FigureReport:
+    """One figure's full report: the comparison plus rendered extras.
+
+    ``measured_table`` is the figure's existing console rendition (a
+    :class:`~repro.reporting.tables.ReportTable` string) embedded in the
+    Markdown report as a fenced block; ``notes`` carries run-specific
+    caveats (reduced workload set, skipped points...), separate from the
+    baseline's own digitization notes.
+    """
+
+    comparison: FigureComparison
+    measured_table: str = ""
+    notes: str = ""
+
+    @property
+    def figure(self) -> str:
+        return self.comparison.figure
+
+    @property
+    def title(self) -> str:
+        return self.comparison.title

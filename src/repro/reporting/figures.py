@@ -1,0 +1,123 @@
+"""Registry of per-figure report hooks.
+
+Each reproduced figure/ablation module under :mod:`repro.experiments`
+exposes a ``*_report()`` hook returning a
+:class:`~repro.reporting.compare.FigureReport`; this module maps the
+baseline names (``fig1``, ``fig4``, ... see
+:mod:`repro.reporting.baselines`) to those hooks so the CLI and
+``scripts/make_report.py`` can resolve figures by name.
+
+The hooks are imported lazily: :mod:`repro.experiments` imports this
+package at module level (for :class:`FigureReport` and the baselines), so
+an eager import in the other direction would cycle.
+
+:func:`build_report` forwards only the keyword arguments a hook actually
+accepts — ``fig8`` is analytic and takes no run settings, the ablations
+fix their workload — so one call site can drive every figure with the
+same ``settings`` / ``jobs`` / ``executor`` / ``workload_names`` /
+``core_counts`` knobs.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Dict, List
+
+from repro.reporting.compare import FigureReport
+
+
+def _fig1():
+    from repro.experiments.fig1_scaling import figure1_report
+
+    return figure1_report
+
+
+def _fig4():
+    from repro.experiments.fig4_snoops import figure4_report
+
+    return figure4_report
+
+
+def _fig7():
+    from repro.experiments.fig7_performance import figure7_report
+
+    return figure7_report
+
+
+def _fig8():
+    from repro.experiments.fig8_area import figure8_report
+
+    return figure8_report
+
+
+def _fig9():
+    from repro.experiments.fig9_area_normalized import figure9_report
+
+    return figure9_report
+
+
+def _power():
+    from repro.experiments.power_analysis import power_report
+
+    return power_report
+
+
+def _ablation_banking():
+    from repro.experiments.ablations import llc_banking_report
+
+    return llc_banking_report
+
+
+def _ablation_arbitration():
+    from repro.experiments.ablations import tree_arbitration_report
+
+    return tree_arbitration_report
+
+
+def _ablation_scaling():
+    from repro.experiments.ablations import scaling_report
+
+    return scaling_report
+
+
+#: Figure name -> loader returning that figure's ``*_report()`` hook.
+#: Order matches :data:`repro.reporting.baselines.BASELINES` (report order).
+REPORTERS: Dict[str, Callable[[], Callable[..., FigureReport]]] = {
+    "fig1": _fig1,
+    "fig4": _fig4,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "power": _power,
+    "ablation_banking": _ablation_banking,
+    "ablation_arbitration": _ablation_arbitration,
+    "ablation_scaling": _ablation_scaling,
+}
+
+
+def report_names() -> List[str]:
+    """All reportable figure names, in report order."""
+    return list(REPORTERS)
+
+
+def build_report(figure: str, **kwargs) -> FigureReport:
+    """Build ``figure``'s :class:`FigureReport`, forwarding applicable kwargs.
+
+    ``kwargs`` may include ``settings``, ``jobs``, ``executor``,
+    ``workload_names`` and ``core_counts``; anything the figure's hook does
+    not accept is dropped (``None`` values are dropped too, so hook
+    defaults stay in charge).
+    """
+    try:
+        hook = REPORTERS[figure]()
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {figure!r}; available: {report_names()}"
+        ) from None
+    accepted = inspect.signature(hook).parameters
+    applicable = {
+        key: value
+        for key, value in kwargs.items()
+        if key in accepted and value is not None
+    }
+    return hook(**applicable)

@@ -1,0 +1,180 @@
+"""Render paper-vs-measured comparisons as Markdown with ASCII charts.
+
+Everything here is dependency-free text generation: Markdown tables for
+the per-point deltas, fenced monospace blocks for the bar charts and the
+figures' existing console tables, and a repo-level status table that the
+README embeds.  Output is **byte-stable** for a given set of inputs — no
+timestamps, hostnames or float formatting that depends on locale — so two
+report generations from the same result cache produce identical files
+(CI relies on this, and so does reviewing report diffs).
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+from repro.reporting.compare import FigureComparison, FigureReport
+from repro.reporting.tables import format_float, markdown_table
+
+#: Width of the ASCII bar area, in characters.
+BAR_WIDTH = 36
+
+
+def _fmt(value: Optional[float], digits: int = 3, suffix: str = "") -> str:
+    if value is None:
+        return "n/a"
+    return format_float(value, digits) + suffix
+
+
+def _fmt_percent(value: Optional[float]) -> str:
+    if value is None:
+        return "n/a"
+    return format_float(100.0 * value, 1) + " %"
+
+
+def ascii_bar_chart(comparison: FigureComparison, width: int = BAR_WIDTH) -> str:
+    """Paper-vs-measured horizontal bars, two lines per point.
+
+    Bars share one scale (the largest magnitude across paper and measured
+    values), so relative heights read exactly like the published chart::
+
+        Data Serving    paper    |#####                       | 0.600
+                        measured |######                      | 0.642
+    """
+    values = [d.paper for d in comparison.deltas]
+    values += [d.measured for d in comparison.deltas if d.measured is not None]
+    scale = max((abs(v) for v in values), default=0.0)
+    label_width = max((len(d.key) for d in comparison.deltas), default=0)
+
+    def bar(value: Optional[float]) -> str:
+        if value is None:
+            return "(no data)".ljust(width + 2)
+        filled = 0 if scale == 0 else round(abs(value) / scale * width)
+        return "|" + ("#" * filled).ljust(width) + "|"
+
+    lines: List[str] = []
+    for delta in comparison.deltas:
+        label = delta.key.ljust(label_width)
+        pad = " " * label_width
+        lines.append(f"{label}  paper    {bar(delta.paper)} {_fmt(delta.paper)}")
+        measured = (
+            f"{pad}  measured {bar(delta.measured)}"
+            + (f" {_fmt(delta.measured)}" if delta.measured is not None else "")
+        )
+        lines.append(measured.rstrip())
+    return "\n".join(lines)
+
+
+def delta_table(comparison: FigureComparison) -> str:
+    """The per-point Markdown delta table for one figure."""
+    rows = []
+    for delta in comparison.deltas:
+        verdict = comparison.verdict(delta)
+        rows.append(
+            (
+                delta.key,
+                _fmt(delta.paper) + f" {delta.unit}",
+                _fmt(delta.measured) + (f" {delta.unit}" if delta.measured is not None else ""),
+                _fmt(delta.abs_error),
+                _fmt_percent(delta.rel_error),
+                "yes" if verdict else ("NO" if verdict is False else "n/a"),
+            )
+        )
+    return markdown_table(
+        ("Point", "Paper", "Measured", "Abs. error", "Rel. error", "Within tol."),
+        rows,
+    )
+
+
+def _tolerance_phrase(comparison: FigureComparison) -> str:
+    parts = []
+    if comparison.abs_tolerance:
+        parts.append(f"abs <= {_fmt(comparison.abs_tolerance)} {comparison.unit}")
+    if comparison.rel_tolerance:
+        parts.append(f"rel <= {_fmt_percent(comparison.rel_tolerance)}")
+    return " or ".join(parts) if parts else "exact"
+
+
+def render_figure(report: FigureReport) -> str:
+    """One figure's Markdown section: status, deltas, chart, measured table."""
+    comparison = report.comparison
+    lines = [f"## {comparison.title}", ""]
+    lines.append(
+        f"**Status: {comparison.status}** — {comparison.n_within}/"
+        f"{comparison.n_measured} measured points within tolerance "
+        f"({_tolerance_phrase(comparison)}); {comparison.n_points} baseline "
+        f"points ({comparison.quantity}, from {comparison.source})."
+    )
+    if comparison.max_rel_error is not None:
+        lines.append(
+            f"Relative error: mean {_fmt_percent(comparison.mean_rel_error)}, "
+            f"max {_fmt_percent(comparison.max_rel_error)}."
+        )
+    lines.append("")
+    lines.append(delta_table(comparison))
+    lines.append("")
+    chart = ascii_bar_chart(comparison)
+    if chart:
+        lines += ["```text", chart, "```", ""]
+    if report.measured_table:
+        lines += ["```text", report.measured_table.rstrip(), "```", ""]
+    for note in (comparison.notes, report.notes):
+        if note:
+            lines += [f"*{note}*", ""]
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def status_table(reports: Sequence[FigureReport]) -> str:
+    """The fig-by-fig summary table (also embedded in the README)."""
+    rows = []
+    for report in reports:
+        c = report.comparison
+        rows.append(
+            (
+                f"`{c.figure}`",
+                c.title,
+                f"{c.n_within}/{c.n_measured} of {c.n_points}",
+                _fmt_percent(c.max_rel_error),
+                c.status,
+            )
+        )
+    return markdown_table(
+        ("Figure", "What the paper shows", "Within tolerance", "Max rel. error", "Status"),
+        rows,
+    )
+
+
+def render_report(
+    reports: Sequence[FigureReport],
+    parameters: Optional[Mapping[str, object]] = None,
+) -> str:
+    """The full ``REPRODUCTION.md`` document.
+
+    ``parameters`` records how the underlying sweeps were run (experiment
+    scale, worker count, restricted workload set...) so a reader can judge
+    how much weight the numbers carry.  Content is deterministic given the
+    same cached results and parameters.
+    """
+    lines = [
+        "# Paper-vs-measured reproduction report",
+        "",
+        "How close this reproduction's *measured* numbers land to the",
+        "published values of \"NOC-Out: Microarchitecting a Scale-Out",
+        "Processor\" (Lotfi-Kamran, Grot, Falsafi — MICRO 2012), figure by",
+        "figure.  Baselines are digitized from the paper",
+        "(`src/repro/reporting/baselines.py`); tolerances state how finely",
+        "each chart could be read, not how close a behavioural model is",
+        "expected to land.  Regenerate with `python scripts/make_report.py`",
+        "(or `python -m repro.reporting`) — warm caches make it free.",
+        "",
+    ]
+    if parameters:
+        lines.append("Generation parameters:")
+        lines.append("")
+        for key, value in parameters.items():
+            lines.append(f"- **{key}**: {value}")
+        lines.append("")
+    lines += ["## Status by figure", "", status_table(reports), ""]
+    for report in reports:
+        lines.append(render_figure(report))
+    return "\n".join(lines).rstrip() + "\n"

@@ -12,7 +12,9 @@ This package is the experiment-facing surface of the reproduction:
   hash range (``spec.shard(i, n)``);
 * :mod:`~repro.scenarios.results` — :class:`ResultSet` /
   :class:`ResultRecord`, tidy records with ``filter`` / ``value`` /
-  ``pivot`` / ``to_json`` helpers;
+  ``pivot`` / ``to_json`` queries plus ``merge`` / ``summary`` /
+  ``delta`` for combining and comparing result sets (the
+  paper-vs-measured layer in :mod:`repro.reporting` consumes these);
 * :mod:`~repro.scenarios.run` — :func:`run_sweep` (blocking) and
   :func:`iter_results` (streams records as simulations finish);
 * :mod:`~repro.scenarios.merge` — fold a shard's cache directory into
@@ -48,12 +50,19 @@ from repro.scenarios.registry import (
     workload_names,
     workloads,
 )
-from repro.scenarios.results import METRIC_NAMES, ResultRecord, ResultSet, record_for
+from repro.scenarios.results import (
+    METRIC_NAMES,
+    RecordDelta,
+    ResultRecord,
+    ResultSet,
+    record_for,
+)
 from repro.scenarios.run import iter_results, run_sweep
 from repro.scenarios.spec import SweepPoint, SweepSpec, point_for_coords
 
 __all__ = [
     "METRIC_NAMES",
+    "RecordDelta",
     "RegistrationError",
     "Registry",
     "ResultRecord",

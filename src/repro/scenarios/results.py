@@ -37,6 +37,29 @@ _RESULTS_SCHEMA = 1
 
 
 @dataclass(frozen=True)
+class RecordDelta:
+    """One coordinate point of :meth:`ResultSet.delta`: a value vs. another.
+
+    ``rel_delta`` is ``(other - value) / value`` — ``None`` when the
+    reference ``value`` is zero.
+    """
+
+    coords: Dict[str, object]
+    value: float
+    other: float
+
+    @property
+    def abs_delta(self) -> float:
+        return self.other - self.value
+
+    @property
+    def rel_delta(self) -> Optional[float]:
+        if self.value == 0:
+            return None
+        return (self.other - self.value) / self.value
+
+
+@dataclass(frozen=True)
 class ResultRecord:
     """One executed point: its coordinates, scalar metrics, and provenance.
 
@@ -100,7 +123,27 @@ def record_for(sweep_point, result, keep_result: bool = True) -> ResultRecord:
 
 
 class ResultSet(Sequence[ResultRecord]):
-    """An ordered collection of :class:`ResultRecord`\\ s with query helpers."""
+    """An ordered collection of :class:`ResultRecord`\\ s with query helpers.
+
+    Supports the sequence protocol (``len`` / indexing / iteration; slices
+    return a new :class:`ResultSet`) plus:
+
+    * ``filter(**coords)`` / ``value(metric, **coords)`` /
+      ``axis_values(name)`` / ``pivot(index, columns, metric)`` — queries
+      over the records' coordinates;
+    * ``merge(other)`` / ``summary(metric, **coords)`` / ``delta(other,
+      metric)`` — combination and comparison across result sets (the
+      reporting layer and before/after experiments build on these);
+    * ``to_json()`` / ``from_json()`` — lossless round-trip (the full
+      per-record :class:`SimulationResults` is included only on request).
+
+    Example::
+
+        results = run_sweep(spec)
+        results.value("throughput_ipc", workload="Web Search", topology="mesh")
+        results.pivot("workload", "topology", metric="throughput_ipc")
+        results.summary("network_mean_latency", topology="noc_out")
+    """
 
     def __init__(self, records: Sequence[ResultRecord], spec=None) -> None:
         self.records: List[ResultRecord] = list(records)
@@ -167,6 +210,77 @@ class ResultSet(Sequence[ResultRecord]):
                 transform(value) if transform is not None else value
             )
         return table
+
+    # -- combination and summaries -------------------------------------- #
+    def merge(self, other: "ResultSet") -> "ResultSet":
+        """Concatenate two result sets, dropping duplicate points.
+
+        A record is a duplicate when an earlier record carries the same
+        ``(point_hash, coords)`` pair — the situation after merging two
+        shard runs of the same spec, where the overlap is byte-identical
+        by construction.  The spec is kept only when both sets agree on it
+        (a merged cross-spec set has no single describing spec).
+        """
+        seen = set()
+        records: List[ResultRecord] = []
+        for record in list(self.records) + list(other.records):
+            key = (record.point_hash, tuple(sorted(record.coords.items())))
+            if key in seen:
+                continue
+            seen.add(key)
+            records.append(record)
+        spec = self.spec if self.spec == other.spec else None
+        return ResultSet(records, spec=spec)
+
+    def summary(self, metric: str, **selection) -> Dict[str, float]:
+        """Descriptive statistics of ``metric`` over the selected records.
+
+        Returns ``{"count", "mean", "min", "max"}`` (an all-zero dict when
+        nothing matches), e.g. ``results.summary("throughput_ipc",
+        topology="mesh")``.
+        """
+        values = [
+            record.metric(metric)
+            for record in self.records
+            if record.matches(selection)
+        ]
+        if not values:
+            return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": len(values),
+            "mean": sum(values) / len(values),
+            "min": min(values),
+            "max": max(values),
+        }
+
+    def delta(self, other: "ResultSet", metric: str = "throughput_ipc") -> List[RecordDelta]:
+        """Per-point deltas of ``metric`` against ``other``, matched by coords.
+
+        The workhorse for before/after comparisons (two model versions, two
+        settings): every coordinate point present in both sets yields a
+        :class:`RecordDelta` with this set's value as the reference.
+        Points missing from either side are skipped; duplicated coordinates
+        in ``other`` resolve to the first occurrence.
+        """
+        def key(record: ResultRecord):
+            return tuple(sorted(record.coords.items()))
+
+        other_by_coords: Dict[tuple, ResultRecord] = {}
+        for record in other.records:
+            other_by_coords.setdefault(key(record), record)
+        deltas = []
+        for record in self.records:
+            counterpart = other_by_coords.get(key(record))
+            if counterpart is None:
+                continue
+            deltas.append(
+                RecordDelta(
+                    coords=dict(record.coords),
+                    value=record.metric(metric),
+                    other=counterpart.metric(metric),
+                )
+            )
+        return deltas
 
     # -- serialisation -------------------------------------------------- #
     def to_dict(self, include_results: bool = False) -> Dict[str, object]:

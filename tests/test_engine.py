@@ -21,7 +21,8 @@ from repro.experiments.engine import (
     resolve_jobs,
     run_experiments,
 )
-from repro.experiments.harness import RunSettings, point_for, run_topology_sweep
+from repro.experiments.harness import RunSettings, point_for
+from repro.scenarios import SweepSpec, run_sweep
 
 from tests._fixtures import TINY_SETTINGS
 
@@ -255,36 +256,35 @@ class TestSweepExecutor:
         parallel = SweepExecutor(jobs=4, use_cache=False).run(points)
         assert serial == parallel
 
-    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_sweep_rejects_jobs_with_explicit_executor(self, tmp_path):
         executor = SweepExecutor(jobs=1, cache=ResultCache(tmp_path))
+        spec = SweepSpec(
+            axes={"workload": ("Web Search",), "topology": ("mesh",)},
+            settings=TINY_SETTINGS,
+            fixed={"num_cores": 16},
+        )
         with pytest.raises(ValueError):
-            run_topology_sweep(
-                ["Web Search"],
-                (Topology.MESH,),
-                num_cores=16,
-                settings=TINY_SETTINGS,
-                jobs=2,
-                executor=executor,
-            )
+            run_sweep(spec, jobs=2, executor=executor)
 
-    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_second_sweep_served_entirely_from_cache(self, tmp_path):
         """2 workloads x 3 topologies, rerun must run zero new simulations."""
         cache = ResultCache(tmp_path)
-        names = ["Web Search", "Data Serving"]
-        topologies = (Topology.MESH, Topology.FLATTENED_BUTTERFLY, Topology.NOC_OUT)
+        spec = SweepSpec(
+            axes={
+                "workload": ("Web Search", "Data Serving"),
+                "topology": ("mesh", "flattened_butterfly", "noc_out"),
+            },
+            settings=TINY_SETTINGS,
+            fixed={"num_cores": 16},
+        )
+        points = spec.size()
 
         executor = SweepExecutor(jobs=4, cache=cache)
-        first = run_topology_sweep(
-            names, topologies, num_cores=16, settings=TINY_SETTINGS, executor=executor
-        )
-        assert executor.last_stats.simulations_run == len(names) * len(topologies)
+        first = run_sweep(spec, executor=executor)
+        assert executor.last_stats.simulations_run == points
 
         executor = SweepExecutor(jobs=4, cache=cache)
-        second = run_topology_sweep(
-            names, topologies, num_cores=16, settings=TINY_SETTINGS, executor=executor
-        )
+        second = run_sweep(spec, executor=executor)
         assert executor.last_stats.simulations_run == 0
-        assert executor.last_stats.cache_hits == len(names) * len(topologies)
-        assert second == first
+        assert executor.last_stats.cache_hits == points
+        assert [r.result for r in second] == [r.result for r in first]

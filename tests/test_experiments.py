@@ -5,7 +5,8 @@ import pytest
 from repro.config import presets
 from repro.config.noc import Topology
 from repro.experiments import ablations, fig4_snoops, fig7_performance, fig8_area, fig9_area_normalized, table1
-from repro.experiments.harness import RunSettings, run_single, system_for
+from repro.experiments.harness import RunSettings, system_for
+from repro.scenarios import SweepSpec, run_sweep
 
 TINY = RunSettings(warmup_references=500, detailed_warmup_cycles=200, measure_cycles=800)
 
@@ -43,13 +44,24 @@ class TestHarness:
         assert settings.measure_cycles == 3000
         assert settings.warmup_references == 1250
 
-    def test_run_single_produces_results(self):
-        with pytest.warns(DeprecationWarning):
-            result = run_single(
-                Topology.MESH, presets.workload("Web Search"), num_cores=16, settings=TINY
-            )
+    def test_single_point_spec_produces_results(self):
+        spec = SweepSpec(
+            axes={"workload": ("Web Search",)},
+            settings=TINY,
+            fixed={"topology": "mesh", "num_cores": 16},
+        )
+        result = run_sweep(spec)[0].result
         assert result.total_instructions > 0
         assert result.topology == "mesh"
+
+    def test_legacy_sweep_shims_are_gone(self):
+        # Removed after their one-release deprecation window (PR 3 -> PR 4).
+        import repro.experiments as experiments
+        from repro.experiments import harness
+
+        for name in ("run_single", "run_topology_sweep"):
+            assert not hasattr(harness, name)
+            assert not hasattr(experiments, name)
 
 
 class TestFigureHarnesses:

@@ -21,8 +21,6 @@ from repro.experiments.harness import (
     MIN_WARMUP_REFERENCES,
     RunSettings,
     point_for,
-    run_single,
-    run_topology_sweep,
 )
 from repro.scenarios import (
     RegistrationError,
@@ -418,38 +416,59 @@ class TestResultSet:
 
 
 # --------------------------------------------------------------------- #
-# Deprecation shims
+# ResultSet combination helpers (merge / summary / delta)
 # --------------------------------------------------------------------- #
-class TestDeprecationShims:
-    def test_run_topology_sweep_warns_but_works(self):
-        with pytest.warns(DeprecationWarning, match="run_topology_sweep"):
-            results = run_topology_sweep(
-                ["Web Search"], (Topology.MESH,), num_cores=16, settings=TINY_SETTINGS
-            )
-        assert results[("Web Search", Topology.MESH)].throughput_ipc > 0
-
-    def test_run_single_warns_but_works(self):
-        with pytest.warns(DeprecationWarning, match="run_single"):
-            result = run_single(
-                Topology.MESH,
-                presets.workload("Web Search"),
-                num_cores=16,
-                settings=TINY_SETTINGS,
-            )
-        assert result.total_instructions > 0
-
-    def test_shim_values_match_run_sweep(self):
+class TestResultSetCombination:
+    def test_merge_unions_shards_and_drops_duplicates(self):
         spec = SweepSpec(
-            axes={"workload": ("Web Search",), "topology": ("mesh",)},
+            axes={"workload": ("Web Search",), "num_cores": (16, 32)},
             settings=TINY_SETTINGS,
-            fixed={"num_cores": 16},
+            fixed={"topology": "mesh"},
         )
-        modern = run_sweep(spec)
-        with pytest.warns(DeprecationWarning):
-            legacy = run_topology_sweep(
-                ["Web Search"], (Topology.MESH,), num_cores=16, settings=TINY_SETTINGS
-            )
-        assert legacy[("Web Search", Topology.MESH)] == modern[0].result
+        full = run_sweep(spec, keep_results=False)
+        shard0 = run_sweep(spec.shard(0, 2), keep_results=False)
+        shard1 = run_sweep(spec.shard(1, 2), keep_results=False)
+        merged = shard0.merge(shard1)
+        assert sorted(r.point_hash for r in merged) == sorted(
+            r.point_hash for r in full
+        )
+        # Merging overlapping sets drops the byte-identical duplicates.
+        assert len(merged.merge(shard0)) == len(full)
+        # Shards describe different specs, so the merged set keeps none.
+        assert merged.spec is None
+        # Merging a set with itself keeps its spec.
+        assert full.merge(full).spec == spec
+
+    def test_summary_statistics(self):
+        spec = SweepSpec(
+            axes={"workload": ("Web Search",), "num_cores": (16, 32)},
+            settings=TINY_SETTINGS,
+            fixed={"topology": "mesh"},
+        )
+        results = run_sweep(spec, keep_results=False)
+        stats = results.summary("throughput_ipc")
+        assert stats["count"] == 2
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+        assert results.summary("throughput_ipc", num_cores=999)["count"] == 0
+
+    def test_delta_matches_by_coords(self):
+        spec = SweepSpec(
+            axes={"workload": ("Web Search",), "num_cores": (16,)},
+            settings=TINY_SETTINGS,
+            fixed={"topology": "mesh"},
+        )
+        results = run_sweep(spec, keep_results=False)
+        deltas = results.delta(results, "throughput_ipc")
+        assert len(deltas) == 1
+        assert deltas[0].abs_delta == 0.0
+        assert deltas[0].rel_delta == 0.0
+        # Disjoint coordinates produce no pairs.
+        other_spec = SweepSpec(
+            axes={"workload": ("Web Search",), "num_cores": (32,)},
+            settings=TINY_SETTINGS,
+            fixed={"topology": "mesh"},
+        )
+        assert results.delta(run_sweep(other_spec, keep_results=False)) == []
 
 
 # --------------------------------------------------------------------- #
