@@ -1,0 +1,62 @@
+"""Chip + network construction time at 64-512 cores.
+
+Large grids shift the cost centre from simulation cycles (event-driven
+since PR 2) to *construction*: per-node interfaces, per-router ports and
+the O(routers x nodes) routing tables all scale with the grid.  This
+benchmark tracks that build path for the three scale-out fabrics so a
+quadratic regression (e.g. a per-group position scan creeping back into
+tree construction) shows up as a number, not an anecdote.
+
+No simulation runs here — chips are built and discarded.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.chip.builder import build_chip
+from repro.reporting.tables import ReportTable
+from repro.scenarios import build_system, workload
+
+from bench_common import emit
+
+#: Grid sizes tracked (the paper's 64 plus the scale-out sizes).
+CORE_COUNTS = (64, 128, 256, 512)
+#: Fabrics whose construction differs structurally.
+FABRICS = ("mesh", "cmesh", "noc_out")
+
+
+def _build_all(fabric: str, core_counts=CORE_COUNTS):
+    """Build one chip per core count; returns ``{core count: seconds}``."""
+    wall = {}
+    base_workload = workload("MapReduce-W")
+    for num_cores in core_counts:
+        config = build_system(fabric, num_cores=num_cores).with_workload(base_workload)
+        start = time.perf_counter()
+        build_chip(config)
+        wall[num_cores] = time.perf_counter() - start
+    return wall
+
+
+def test_chip_build_scaling(benchmark):
+    results = benchmark.pedantic(
+        lambda: {fabric: _build_all(fabric) for fabric in FABRICS},
+        rounds=1,
+        iterations=1,
+    )
+
+    table = ReportTable(
+        ["Fabric"] + [f"{n} cores (s)" for n in CORE_COUNTS],
+        title="Chip + network construction time",
+    )
+    for fabric, wall in results.items():
+        table.add_row(fabric, *[wall[n] for n in CORE_COUNTS])
+    emit("Chip construction time at 64-512 cores", table.render())
+
+    for fabric, wall in results.items():
+        # Construction must stay subquadratic: 8x the cores may cost more
+        # than 8x the time (routing tables are O(routers x nodes)), but a
+        # 512-core build taking >64x the 64-core build means something
+        # quadratic-per-node crept in.  Generous floor guards noisy runners.
+        ratio = wall[512] / max(wall[64], 1e-3)
+        assert ratio < 64, f"{fabric}: 512-core build is {ratio:.0f}x the 64-core build"

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""CI smoke check: the 64-512-core scale-out sweep runs end to end.
+
+Runs :func:`repro.experiments.scale_out.scale_out_spec` for one workload at
+the ambient ``REPRO_EXPERIMENT_SCALE`` (CI uses 0.1, the repo's smoke
+pattern) across all three fabrics and all four core counts, then asserts:
+
+* every point simulated and produced committed instructions — in
+  particular the 256-core concentrated-mesh point, which exercises the
+  plugin-built large-grid path (factorised grids, concentrated system map,
+  shared-router mesh construction);
+* the sweep's pivot renders through the reporting layer
+  (:func:`scale_out_report`), so the report hook cannot silently rot.
+
+Exit code 0 on success; any assertion or simulation error fails the job.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main() -> int:
+    from repro.experiments.scale_out import (
+        CORE_COUNTS,
+        FABRICS,
+        run_scale_out,
+        scale_out_report,
+    )
+
+    workload = "MapReduce-W"
+    results = run_scale_out(workload_names=(workload,))
+    expected = len(FABRICS) * len(CORE_COUNTS)
+    assert len(results) == expected, f"expected {expected} points, got {len(results)}"
+
+    for record in results:
+        assert record.metrics["total_instructions"] > 0, (
+            f"point {record.coords} committed no instructions"
+        )
+    cmesh_256 = results.filter(topology="cmesh", num_cores=256)
+    assert len(cmesh_256) == 1, "256-core concentrated-mesh point missing"
+    print(
+        "cmesh @ 256 cores: "
+        f"throughput {cmesh_256[0].metrics['throughput_ipc']:.3f} IPC, "
+        f"{int(cmesh_256[0].metrics['messages_delivered'])} messages"
+    )
+
+    report = scale_out_report(workload_names=(workload,))
+    assert "cmesh" in report.measured_table
+    assert "512 cores" in report.measured_table
+    print(report.measured_table)
+    print(f"scale-out ordering check: {report.comparison.status}")
+    print("scale-out smoke check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,10 @@
-"""Analysis helpers: performance metrics (plus legacy table re-exports).
+"""Analysis helpers: performance metrics.
 
-The report tables moved to :mod:`repro.reporting.tables`;
-:mod:`repro.analysis.report` re-exports them for compatibility.
+The report tables live in :mod:`repro.reporting.tables` (the
+``repro.analysis.report`` compatibility re-export was retired after its
+one grace release).
 """
 
 from repro.analysis.metrics import geometric_mean, normalize, speedup
-from repro.analysis.report import ReportTable, format_float
 
-__all__ = ["geometric_mean", "normalize", "speedup", "ReportTable", "format_float"]
+__all__ = ["geometric_mean", "normalize", "speedup"]

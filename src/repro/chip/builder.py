@@ -1,41 +1,24 @@
-"""Factories assembling networks and chips from a :class:`SystemConfig`."""
+"""Factories assembling networks and chips from a :class:`SystemConfig`.
+
+Both factories are thin dispatches through the fabric-plugin registry
+(:func:`repro.scenarios.registry.fabric_for`): the plugin registered under
+the config's topology key owns network construction, so a new fabric needs
+no edits here — see :mod:`repro.fabrics`.
+"""
 
 from __future__ import annotations
 
-from repro.config.noc import Topology
 from repro.config.system import SystemConfig
-from repro.core.nocout import NocOutNetwork
-from repro.noc.flattened_butterfly import FlattenedButterflyNetwork
-from repro.noc.ideal import IdealNetwork
-from repro.noc.mesh import MeshNetwork
 from repro.noc.network import Network
 from repro.sim.kernel import Simulator
-from repro.chip.system_map import NocOutSystemMap, SystemMap, TiledSystemMap
+from repro.chip.system_map import SystemMap
 
 
 def build_network(sim: Simulator, config: SystemConfig, system_map: SystemMap) -> Network:
     """Instantiate the interconnect matching ``config.noc.topology``."""
-    topology = config.noc.topology
-    if topology == Topology.NOC_OUT:
-        if not isinstance(system_map, NocOutSystemMap):
-            raise TypeError("NOC-Out requires a NocOutSystemMap")
-        return NocOutNetwork(
-            sim,
-            config,
-            core_nodes=system_map.core_positions(),
-            llc_nodes=system_map.llc_columns(),
-            mc_nodes=system_map.mc_columns(),
-        )
-    if not isinstance(system_map, TiledSystemMap):
-        raise TypeError(f"{topology.value} requires a TiledSystemMap")
-    node_coords = system_map.node_coords()
-    if topology == Topology.MESH:
-        return MeshNetwork(sim, config, node_coords)
-    if topology == Topology.FLATTENED_BUTTERFLY:
-        return FlattenedButterflyNetwork(sim, config, node_coords)
-    if topology == Topology.IDEAL:
-        return IdealNetwork(sim, config, node_coords)
-    raise ValueError(f"unknown topology {topology}")
+    from repro.scenarios.registry import fabric_for
+
+    return fabric_for(config).build_network(sim, config, system_map)
 
 
 def build_chip(config: SystemConfig) -> "repro.chip.chip.Chip":  # noqa: F821

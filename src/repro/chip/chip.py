@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 from repro.cache.directory import DirectoryController
 from repro.cache.memory_controller import MemoryController
+from repro.config.noc import topology_key
 from repro.config.system import SystemConfig
 from repro.cpu.core_node import CoreNode
 from repro.noc.message import (
@@ -321,7 +322,7 @@ class Chip:
 
         return SimulationResults(
             workload=self.workload.name,
-            topology=self.config.noc.topology.value,
+            topology=topology_key(self.config.noc.topology),
             num_cores=self.config.num_cores,
             active_cores=len(self.active_core_ids),
             cycles=cycles,

@@ -14,11 +14,10 @@ segregated NOC-Out layout (core tiles plus a central row of LLC tiles).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.cache.address import AddressMapper
 from repro.config.cache import CacheConfig
-from repro.config.noc import Topology
 from repro.config.system import SystemConfig
 
 
@@ -69,11 +68,19 @@ class SystemMap:
 
 
 class TiledSystemMap(SystemMap):
-    """Tiled layout: node ``i`` holds core ``i`` plus LLC slice ``i``."""
+    """Tiled layout: node ``i`` holds core ``i`` plus LLC slice ``i``.
 
-    def __init__(self, config: SystemConfig) -> None:
+    ``grid`` overrides the ``(columns, rows)`` placement grid; fabrics
+    whose router grid differs from the per-core grid (e.g. the
+    concentrated mesh, where several tiles share a coordinate) pass their
+    own instead of deriving it from the core count.
+    """
+
+    def __init__(
+        self, config: SystemConfig, grid: Optional[Tuple[int, int]] = None
+    ) -> None:
         super().__init__(config)
-        self.cols, self.rows = config.mesh_dimensions
+        self.cols, self.rows = grid if grid is not None else config.mesh_dimensions
         self.mapper = AddressMapper(
             block_size=config.caches.block_size,
             num_llc_banks=config.num_cores,
@@ -243,7 +250,12 @@ class NocOutSystemMap(SystemMap):
 
 
 def build_system_map(config: SystemConfig) -> SystemMap:
-    """Factory selecting the layout matching the configured topology."""
-    if config.noc.topology == Topology.NOC_OUT:
-        return NocOutSystemMap(config)
-    return TiledSystemMap(config)
+    """Factory selecting the layout matching the configured topology.
+
+    Thin dispatch through the fabric-plugin registry: the plugin registered
+    under the config's topology key owns the layout, so a new fabric needs
+    no edits here — see :mod:`repro.fabrics`.
+    """
+    from repro.scenarios.registry import fabric_for
+
+    return fabric_for(config).build_system_map(config)

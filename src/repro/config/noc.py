@@ -1,13 +1,23 @@
-"""Network-on-chip configuration for the three evaluated organizations."""
+"""Network-on-chip configuration for the evaluated organizations."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from enum import Enum
+from typing import Union
 
 
 class Topology(str, Enum):
-    """Interconnect organizations evaluated in the paper."""
+    """The paper's four interconnect organizations.
+
+    The enum is only the *config-level identifier* of the built-in fabrics:
+    everything that used to dispatch on it (network construction, system
+    maps, area descriptors) now goes through the fabric-plugin registry in
+    :mod:`repro.scenarios.registry`, keyed by :func:`topology_key`.  A
+    fabric registered from outside this package stores its registry name as
+    a plain string in :attr:`NocConfig.topology`; the enum is never
+    extended.
+    """
 
     MESH = "mesh"
     FLATTENED_BUTTERFLY = "flattened_butterfly"
@@ -20,6 +30,24 @@ FLATTENED_BUTTERFLY = Topology.FLATTENED_BUTTERFLY
 NOC_OUT = Topology.NOC_OUT
 IDEAL = Topology.IDEAL
 
+#: A topology identifier: one of the paper's four built-ins (enum) or the
+#: registry name of a plugin fabric (plain string).
+TopologyLike = Union[Topology, str]
+
+
+def topology_key(topology: TopologyLike) -> str:
+    """The registry/dispatch key of a topology identifier.
+
+    Built-in enum members key by their string value (``Topology.MESH`` ->
+    ``"mesh"``); plugin fabrics carry their registry name directly.  Cache
+    keys are unaffected: the engine's canonical serialisation already
+    reduced enum members to their values, and a plain string is its own
+    value.
+    """
+    if isinstance(topology, Topology):
+        return topology.value
+    return str(topology)
+
 
 @dataclass(frozen=True)
 class NocConfig:
@@ -28,9 +56,13 @@ class NocConfig:
     ``link_width_bits`` is the flit width; the area-normalised study
     (Figure 9) shrinks it for the mesh and flattened butterfly until their
     NoC area matches NOC-Out's 2.5 mm2 budget.
+
+    ``topology`` may be a :class:`Topology` member (the built-ins) or the
+    registry name of a plugin fabric as a plain string; use
+    :func:`topology_key` when a flat string is needed.
     """
 
-    topology: Topology = Topology.MESH
+    topology: TopologyLike = Topology.MESH
     link_width_bits: int = 128
 
     # Mesh parameters
@@ -45,7 +77,11 @@ class NocConfig:
     fbfly_vc_depth_flits: int = 8
     fbfly_tiles_per_cycle: float = 2.0
 
-    # NOC-Out tree networks
+    # NOC-Out tree networks.  ``tree_concentration`` doubles as the generic
+    # concentration knob for fabrics that share one router between several
+    # endpoints (the NOC-Out trees and the concentrated mesh plugin); it
+    # predates the plugin layer, and renaming it would invalidate every
+    # cached result, so the historical name stays.
     tree_hop_latency: int = 1
     tree_vcs_per_port: int = 2
     tree_vc_depth_flits: int = 3
@@ -82,6 +118,6 @@ class NocConfig:
         """Return a copy with a different flit/link width (Figure 9 study)."""
         return replace(self, link_width_bits=link_width_bits)
 
-    def with_topology(self, topology: Topology) -> "NocConfig":
-        """Return a copy targeting a different topology."""
+    def with_topology(self, topology: TopologyLike) -> "NocConfig":
+        """Return a copy targeting a different topology (enum or plugin name)."""
         return replace(self, topology=topology)

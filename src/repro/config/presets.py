@@ -15,10 +15,12 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from dataclasses import replace
+
 from repro.config.noc import NocConfig, Topology
 from repro.config.system import SystemConfig
 from repro.config.workload import WorkloadConfig
-from repro.scenarios.registry import register_topology, register_workload, workloads as _workload_registry
+from repro.scenarios.registry import register_workload, workloads as _workload_registry
 
 MB = 1024 * 1024
 GB = 1024 * MB
@@ -182,6 +184,11 @@ def all_workloads() -> Dict[str, WorkloadConfig]:
 
 # --------------------------------------------------------------------------- #
 # Chip configurations (Table 1)
+#
+# These are plain factories; registry wiring lives with the fabric plugins
+# in ``repro.fabrics`` (each plugin's ``build_system`` delegates here), so
+# ``build_system("mesh", ...)`` and ``presets.mesh_system(...)`` stay one
+# implementation.
 # --------------------------------------------------------------------------- #
 def baseline_system(
     topology: Topology = Topology.MESH,
@@ -194,25 +201,30 @@ def baseline_system(
     return SystemConfig(num_cores=num_cores, noc=noc, seed=seed)
 
 
-@register_topology("mesh")
 def mesh_system(num_cores: int = 64, **kwargs) -> SystemConfig:
     """Tiled mesh baseline (Figure 2)."""
     return baseline_system(Topology.MESH, num_cores=num_cores, **kwargs)
 
 
-@register_topology("flattened_butterfly")
 def flattened_butterfly_system(num_cores: int = 64, **kwargs) -> SystemConfig:
     """Tiled chip with a two-dimensional flattened butterfly (Figure 3)."""
     return baseline_system(Topology.FLATTENED_BUTTERFLY, num_cores=num_cores, **kwargs)
 
 
-@register_topology("noc_out")
 def nocout_system(num_cores: int = 64, **kwargs) -> SystemConfig:
-    """The proposed NOC-Out organization (Figure 5)."""
-    return baseline_system(Topology.NOC_OUT, num_cores=num_cores, **kwargs)
+    """The proposed NOC-Out organization (Figure 5).
+
+    Up to 128 cores the LLC row keeps the paper's 8 tiles (Table 1 — and
+    the cache keys of every published configuration).  Beyond that the row
+    widens to 16 tiles so the per-column core count (tree depth) keeps
+    scaling sublinearly on 256/512-core chips.
+    """
+    config = baseline_system(Topology.NOC_OUT, num_cores=num_cores, **kwargs)
+    if num_cores > 128:
+        config = config.with_noc(replace(config.noc, llc_tiles=16))
+    return config
 
 
-@register_topology("ideal")
 def ideal_system(num_cores: int = 64, **kwargs) -> SystemConfig:
     """Idealized interconnect exposing only wire delay (Figure 1)."""
     return baseline_system(Topology.IDEAL, num_cores=num_cores, **kwargs)

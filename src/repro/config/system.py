@@ -12,21 +12,65 @@ from repro.config.technology import TechnologyConfig
 from repro.config.workload import WorkloadConfig
 
 
-def default_mesh_dimensions(num_cores: int) -> Tuple[int, int]:
-    """Grid dimensions used for tiled (mesh / flattened butterfly) chips."""
-    known = {
-        1: (1, 1),
-        2: (2, 1),
-        4: (2, 2),
-        8: (4, 2),
-        16: (4, 4),
-        32: (8, 4),
-        64: (8, 8),
-        128: (16, 8),
-    }
-    if num_cores in known:
-        return known[num_cores]
-    raise ValueError(f"no default grid for {num_cores} cores")
+#: Historical grid table, kept verbatim as exact overrides: these sizes
+#: predate the general factorisation below and must keep producing the
+#: same grids forever (the factorisation happens to agree, but the table
+#: pins the contract independently of the algorithm).
+KNOWN_GRIDS = {
+    1: (1, 1),
+    2: (2, 1),
+    4: (2, 2),
+    8: (4, 2),
+    16: (4, 4),
+    32: (8, 4),
+    64: (8, 8),
+    128: (16, 8),
+    256: (16, 16),
+    512: (32, 16),
+}
+
+#: Widest columns:rows ratio a derived grid may have before it is rejected
+#: as degenerate (a 17x1 "grid" is a chain, not a tiled die).
+MAX_GRID_ASPECT_RATIO = 4.0
+
+
+def default_mesh_dimensions(
+    num_cores: int,
+    max_aspect_ratio: Optional[float] = MAX_GRID_ASPECT_RATIO,
+) -> Tuple[int, int]:
+    """Grid dimensions used for tiled (mesh / flattened butterfly) chips.
+
+    Returns ``(columns, rows)`` with ``columns * rows == num_cores`` and
+    ``columns >= rows``.  Core counts in :data:`KNOWN_GRIDS` use the table
+    verbatim; any other count is factorised as near-square as its divisors
+    allow (``rows`` is the largest divisor not above ``sqrt(num_cores)``).
+    Factorisations wider than ``max_aspect_ratio`` raise — pass
+    ``max_aspect_ratio=None`` to accept a skewed grid anyway.
+    """
+    if num_cores < 1:
+        raise ValueError(
+            f"cannot build a tiled grid for {num_cores} cores: the core count "
+            "must be a positive integer"
+        )
+    if num_cores in KNOWN_GRIDS:
+        return KNOWN_GRIDS[num_cores]
+    rows = 1
+    divisor = 1
+    while divisor * divisor <= num_cores:
+        if num_cores % divisor == 0:
+            rows = divisor
+        divisor += 1
+    cols = num_cores // rows
+    if max_aspect_ratio is not None and cols > max_aspect_ratio * rows:
+        raise ValueError(
+            f"no near-square grid for {num_cores} cores: the best factorisation "
+            f"is {cols}x{rows} (aspect ratio {cols / rows:g} exceeds the limit "
+            f"{max_aspect_ratio:g}).  Choose a core count with a balanced "
+            f"factorisation (e.g. a power of two), or call "
+            f"default_mesh_dimensions({num_cores}, max_aspect_ratio=None) to "
+            f"accept the skewed {cols}x{rows} grid"
+        )
+    return (cols, rows)
 
 
 @dataclass(frozen=True)

@@ -36,6 +36,7 @@ from repro.experiments import (
     fig8_area,
     fig9_area_normalized,
     power_analysis,
+    scale_out,
     table1,
 )
 
@@ -55,5 +56,6 @@ __all__ = [
     "fig8_area",
     "fig9_area_normalized",
     "power_analysis",
+    "scale_out",
     "table1",
 ]

@@ -132,9 +132,11 @@ class ExperimentPoint:
 
     def describe(self) -> str:
         """Short human-readable label (for logs and error messages)."""
+        from repro.config.noc import topology_key
+
         workload = self.config.workload.name if self.config.workload else "?"
         return (
-            f"{workload} / {self.config.noc.topology.value} / "
+            f"{workload} / {topology_key(self.config.noc.topology)} / "
             f"{self.config.num_cores} cores"
         )
 

@@ -87,10 +87,11 @@ def system_for(
     (:mod:`repro.scenarios.registry`), so fabrics registered with
     ``@register_topology`` work here as soon as they exist.
     """
+    from repro.config.noc import topology_key
     from repro.scenarios.registry import build_system
 
     config = build_system(
-        topology.value if isinstance(topology, Topology) else str(topology),
+        topology_key(topology),
         num_cores=num_cores,
         link_width_bits=link_width_bits,
         seed=seed,

@@ -1,0 +1,134 @@
+"""The fabric-plugin protocol.
+
+A *fabric plugin* packages everything the rest of the system needs to know
+about one interconnect organization:
+
+``name``
+    The registry key.  Built-in plugins use the matching
+    :class:`~repro.config.noc.Topology` value; new fabrics pick any fresh
+    name and store it as a plain string in ``NocConfig.topology``.
+``build_system(**kwargs) -> SystemConfig``
+    The system preset — what ``SweepSpec`` coordinates and
+    :func:`repro.scenarios.registry.build_system` expand through.
+``build_system_map(config) -> SystemMap``
+    Node-id assignment, placement and address interleaving.
+``build_network(sim, config, system_map) -> Network``
+    The simulated interconnect.
+``describe(config) -> TopologyDescriptor``
+    The static router/link inventory consumed by the area and energy
+    models (Figures 8/9) — no simulator involved.
+
+Registering a plugin with ``@register_topology`` is the *only* wiring step:
+``chip.builder.build_network``, ``chip.system_map.build_system_map`` and
+``noc.topology.describe_topology`` all dispatch through the registry, so a
+new fabric is one self-contained module (see :mod:`repro.fabrics.cmesh`
+for a complete example that touches no dispatch site).
+
+This module must stay import-light: it is imported by
+:mod:`repro.scenarios.registry` while *registering* plugins, so importing
+simulation modules here would cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover — typing only, avoids import cycles
+    from repro.chip.system_map import SystemMap
+    from repro.config.system import SystemConfig
+    from repro.noc.network import Network
+    from repro.noc.topology import TopologyDescriptor
+    from repro.sim.kernel import Simulator
+
+
+@runtime_checkable
+class FabricPlugin(Protocol):
+    """Structural protocol every registered fabric satisfies."""
+
+    name: str
+
+    def build_system(self, **kwargs) -> "SystemConfig":
+        """Build the (workload-less) system preset for this fabric."""
+        ...
+
+    def build_system_map(self, config: "SystemConfig") -> "SystemMap":
+        """Build the node placement / address interleaving for ``config``."""
+        ...
+
+    def build_network(
+        self, sim: "Simulator", config: "SystemConfig", system_map: "SystemMap"
+    ) -> "Network":
+        """Instantiate the simulated interconnect for ``config``."""
+        ...
+
+    def describe(self, config: "SystemConfig") -> "TopologyDescriptor":
+        """Static router/link inventory for the area and energy models."""
+        ...
+
+
+#: Hooks a full plugin must provide beyond ``build_system``.
+_CHIP_HOOKS = ("build_system_map", "build_network", "describe")
+
+
+class SystemFactoryFabric:
+    """Adapter wrapping a bare ``**kwargs -> SystemConfig`` registration.
+
+    The pre-plugin ``@register_topology`` form registered plain system
+    factories; they remain useful for seeding sweeps (a factory may return
+    configs whose *topology* belongs to a full plugin), so they are wrapped
+    here rather than rejected.  Chip-building hooks raise with a pointer to
+    the full protocol.
+    """
+
+    def __init__(self, name: str, factory: Callable) -> None:
+        self.name = name
+        self._factory = factory
+
+    def build_system(self, **kwargs) -> "SystemConfig":
+        return self._factory(**kwargs)
+
+    def _unsupported(self, hook: str):
+        raise NotImplementedError(
+            f"topology {self.name!r} was registered as a bare system factory, "
+            f"which cannot {hook}; register a full FabricPlugin (see "
+            "repro.fabrics.base) to build chips with it"
+        )
+
+    def build_system_map(self, config):
+        self._unsupported("build a system map")
+
+    def build_network(self, sim, config, system_map):
+        self._unsupported("build a network")
+
+    def describe(self, config):
+        self._unsupported("describe its geometry")
+
+    def __repr__(self) -> str:
+        return f"SystemFactoryFabric({self.name!r}, {self._factory!r})"
+
+
+def coerce_fabric_plugin(name: str, obj) -> FabricPlugin:
+    """Normalise a ``@register_topology`` argument into a plugin instance.
+
+    Accepts a plugin instance, a plugin class (instantiated with no
+    arguments), or a bare system factory (wrapped in
+    :class:`SystemFactoryFabric`).  A plugin without a ``name`` gets the
+    registration name; a plugin that already carries one keeps it (dispatch
+    is keyed by the *registry* name, so an instance registered under an
+    alias is not mutated — and frozen/slotted plugins stay untouched).
+    """
+    if isinstance(obj, type):
+        obj = obj()
+    missing = [
+        hook for hook in _CHIP_HOOKS + ("build_system",) if not hasattr(obj, hook)
+    ]
+    if not missing:
+        if getattr(obj, "name", None) is None:
+            obj.name = name
+        return obj
+    if callable(obj):
+        return SystemFactoryFabric(name, obj)
+    raise TypeError(
+        f"cannot register {obj!r} as topology {name!r}: expected a FabricPlugin "
+        f"(missing {missing}) or a callable system factory"
+    )

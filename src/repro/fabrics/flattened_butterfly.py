@@ -1,0 +1,38 @@
+"""The flattened-butterfly fabric plugin (Figure 3)."""
+
+from __future__ import annotations
+
+from repro.chip.system_map import SystemMap, TiledSystemMap
+from repro.config.noc import Topology
+from repro.config.system import SystemConfig
+from repro.noc.flattened_butterfly import FlattenedButterflyNetwork
+from repro.noc.topology import TopologyDescriptor, describe_flattened_butterfly
+from repro.scenarios.registry import register_topology
+from repro.sim.kernel import Simulator
+
+
+@register_topology("flattened_butterfly")
+class FlattenedButterflyFabric:
+    """Tiled 2-D flattened butterfly: full row/column connectivity."""
+
+    name = "flattened_butterfly"
+
+    def build_system(self, num_cores: int = 64, **kwargs) -> SystemConfig:
+        from repro.config.presets import baseline_system
+
+        return baseline_system(
+            Topology.FLATTENED_BUTTERFLY, num_cores=num_cores, **kwargs
+        )
+
+    def build_system_map(self, config: SystemConfig) -> TiledSystemMap:
+        return TiledSystemMap(config)
+
+    def build_network(
+        self, sim: Simulator, config: SystemConfig, system_map: SystemMap
+    ) -> FlattenedButterflyNetwork:
+        if not isinstance(system_map, TiledSystemMap):
+            raise TypeError(f"{self.name} requires a TiledSystemMap")
+        return FlattenedButterflyNetwork(sim, config, system_map.node_coords())
+
+    def describe(self, config: SystemConfig) -> TopologyDescriptor:
+        return describe_flattened_butterfly(config)

@@ -1,0 +1,37 @@
+"""The idealized wire-delay-only fabric plugin (Figure 1's upper bound)."""
+
+from __future__ import annotations
+
+from repro.chip.system_map import SystemMap, TiledSystemMap
+from repro.config.noc import Topology
+from repro.config.system import SystemConfig
+from repro.noc.ideal import IdealNetwork
+from repro.noc.topology import TopologyDescriptor
+from repro.scenarios.registry import register_topology
+from repro.sim.kernel import Simulator
+
+
+@register_topology("ideal")
+class IdealFabric:
+    """Contention-free interconnect exposing only repeated-wire delay."""
+
+    name = "ideal"
+
+    def build_system(self, num_cores: int = 64, **kwargs) -> SystemConfig:
+        from repro.config.presets import baseline_system
+
+        return baseline_system(Topology.IDEAL, num_cores=num_cores, **kwargs)
+
+    def build_system_map(self, config: SystemConfig) -> TiledSystemMap:
+        return TiledSystemMap(config)
+
+    def build_network(
+        self, sim: Simulator, config: SystemConfig, system_map: SystemMap
+    ) -> IdealNetwork:
+        if not isinstance(system_map, TiledSystemMap):
+            raise TypeError(f"{self.name} requires a TiledSystemMap")
+        return IdealNetwork(sim, config, system_map.node_coords())
+
+    def describe(self, config: SystemConfig) -> TopologyDescriptor:
+        # Wires only: no routers, no repeated links to inventory.
+        return TopologyDescriptor("ideal", routers=[], links=[])

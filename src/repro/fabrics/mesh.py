@@ -1,0 +1,36 @@
+"""The tiled-mesh fabric plugin (the paper's baseline, Figure 2)."""
+
+from __future__ import annotations
+
+from repro.chip.system_map import SystemMap, TiledSystemMap
+from repro.config.noc import Topology
+from repro.config.system import SystemConfig
+from repro.noc.mesh import MeshNetwork
+from repro.noc.topology import TopologyDescriptor, describe_mesh
+from repro.scenarios.registry import register_topology
+from repro.sim.kernel import Simulator
+
+
+@register_topology("mesh")
+class MeshFabric:
+    """Tiled 2-D mesh: one 5-port router per tile, XY routing."""
+
+    name = "mesh"
+
+    def build_system(self, num_cores: int = 64, **kwargs) -> SystemConfig:
+        from repro.config.presets import baseline_system
+
+        return baseline_system(Topology.MESH, num_cores=num_cores, **kwargs)
+
+    def build_system_map(self, config: SystemConfig) -> TiledSystemMap:
+        return TiledSystemMap(config)
+
+    def build_network(
+        self, sim: Simulator, config: SystemConfig, system_map: SystemMap
+    ) -> MeshNetwork:
+        if not isinstance(system_map, TiledSystemMap):
+            raise TypeError(f"{self.name} requires a TiledSystemMap")
+        return MeshNetwork(sim, config, system_map.node_coords())
+
+    def describe(self, config: SystemConfig) -> TopologyDescriptor:
+        return describe_mesh(config)

@@ -1,0 +1,42 @@
+"""The NOC-Out fabric plugin (the paper's proposal, Figure 5)."""
+
+from __future__ import annotations
+
+from repro.chip.system_map import NocOutSystemMap, SystemMap
+from repro.config.system import SystemConfig
+from repro.core.floorplan import describe_nocout
+from repro.core.nocout import NocOutNetwork
+from repro.noc.topology import TopologyDescriptor
+from repro.scenarios.registry import register_topology
+from repro.sim.kernel import Simulator
+
+
+@register_topology("noc_out")
+class NocOutFabric:
+    """Reduction/dispersion trees + central LLC row (flattened butterfly)."""
+
+    name = "noc_out"
+
+    def build_system(self, num_cores: int = 64, **kwargs) -> SystemConfig:
+        from repro.config.presets import nocout_system
+
+        return nocout_system(num_cores=num_cores, **kwargs)
+
+    def build_system_map(self, config: SystemConfig) -> NocOutSystemMap:
+        return NocOutSystemMap(config)
+
+    def build_network(
+        self, sim: Simulator, config: SystemConfig, system_map: SystemMap
+    ) -> NocOutNetwork:
+        if not isinstance(system_map, NocOutSystemMap):
+            raise TypeError(f"{self.name} requires a NocOutSystemMap")
+        return NocOutNetwork(
+            sim,
+            config,
+            core_nodes=system_map.core_positions(),
+            llc_nodes=system_map.llc_columns(),
+            mc_nodes=system_map.mc_columns(),
+        )
+
+    def describe(self, config: SystemConfig) -> TopologyDescriptor:
+        return describe_nocout(config)

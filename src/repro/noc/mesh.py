@@ -7,7 +7,7 @@ cycles at zero load, exactly as in Table 1.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.config.system import SystemConfig
 from repro.sim.kernel import Simulator
@@ -35,10 +35,13 @@ class MeshNetwork(Network):
         config: SystemConfig,
         node_coords: Dict[int, Coordinate],
         name: str = "mesh",
+        geometry: Optional[GridGeometry] = None,
     ) -> None:
         super().__init__(sim, config, name, node_coords.keys())
         self.node_coords = dict(node_coords)
-        self.geometry: GridGeometry = tiled_grid_geometry(config)
+        # Concentrated variants pass their own (smaller, coarser) router
+        # grid; the plain mesh derives one router per core tile.
+        self.geometry: GridGeometry = geometry or tiled_grid_geometry(config)
         self._router_at: Dict[Coordinate, Router] = {}
         self._direction_port: Dict[Tuple[Coordinate, str], int] = {}
         self._eject_port: Dict[Tuple[Coordinate, int], int] = {}

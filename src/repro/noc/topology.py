@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Tuple
 
-from repro.config.noc import Topology
 from repro.config.system import SystemConfig
 
 
@@ -206,17 +205,12 @@ def describe_flattened_butterfly(config: SystemConfig) -> TopologyDescriptor:
 
 
 def describe_topology(config: SystemConfig) -> TopologyDescriptor:
-    """Dispatch to the descriptor builder for ``config.noc.topology``."""
-    topology = config.noc.topology
-    if topology == Topology.MESH:
-        return describe_mesh(config)
-    if topology == Topology.FLATTENED_BUTTERFLY:
-        return describe_flattened_butterfly(config)
-    if topology == Topology.NOC_OUT:
-        # Imported lazily to avoid a circular dependency with repro.core.
-        from repro.core.floorplan import describe_nocout
+    """Descriptor for ``config.noc.topology``, via the fabric registry.
 
-        return describe_nocout(config)
-    if topology == Topology.IDEAL:
-        return TopologyDescriptor("ideal", routers=[], links=[])
-    raise ValueError(f"unknown topology {topology}")
+    Thin dispatch through the fabric-plugin registry: the plugin registered
+    under the config's topology key owns the static description, so a new
+    fabric needs no edits here — see :mod:`repro.fabrics`.
+    """
+    from repro.scenarios.registry import fabric_for
+
+    return fabric_for(config).describe(config)

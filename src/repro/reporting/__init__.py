@@ -13,7 +13,7 @@ This package is the repo's answer to "how faithful is this reproduction?":
 * :mod:`~repro.reporting.figures` — name registry over the per-figure
   ``*_report()`` hooks in :mod:`repro.experiments`;
 * :mod:`~repro.reporting.tables` — the plain-text :class:`ReportTable`
-  (canonical home; ``repro.analysis.report`` re-exports it);
+  (canonical home);
 * :mod:`~repro.reporting.cli` — ``python -m repro.reporting``, which
   resolves every figure's sweep through the result cache (zero simulations
   when warm) and writes ``reports/REPRODUCTION.md``.

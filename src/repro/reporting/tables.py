@@ -2,7 +2,7 @@
 
 This is the canonical home of :class:`ReportTable` (it moved here from
 ``repro.analysis.report`` when the reporting subsystem was introduced; the
-old module remains as a thin re-export).  The tables are deliberately
+re-export has since been retired).  The tables are deliberately
 dependency-free — aligned monospace columns that read equally well on a
 terminal and inside a fenced Markdown block.
 """

@@ -3,9 +3,11 @@
 This package is the experiment-facing surface of the reproduction:
 
 * :mod:`~repro.scenarios.registry` — ``@register_workload`` /
-  ``@register_topology`` name registries (seeded by
-  :mod:`repro.config.presets`), so fabrics and workloads are discoverable
-  and extensible by name;
+  ``@register_topology`` name registries (workloads seeded by
+  :mod:`repro.config.presets`, fabric plugins by :mod:`repro.fabrics`), so
+  fabrics and workloads are discoverable and extensible by name; a fabric
+  registration carries the full build/describe protocol
+  (:func:`fabric_for` dispatches chip construction through it);
 * :mod:`~repro.scenarios.spec` — :class:`SweepSpec`, a frozen, JSON
   round-trippable description of a sweep (axes x fixed overrides) that
   expands to the engine's content-hashed experiment points and shards by
@@ -42,6 +44,7 @@ from repro.scenarios.registry import (
     RegistrationError,
     Registry,
     build_system,
+    fabric_for,
     register_topology,
     register_workload,
     topologies,
@@ -70,6 +73,7 @@ __all__ = [
     "SweepPoint",
     "SweepSpec",
     "build_system",
+    "fabric_for",
     "iter_results",
     "point_for_coords",
     "record_for",

@@ -1,10 +1,10 @@
-"""Name-based registries for workloads and topology presets.
+"""Name-based registries for workloads and fabric plugins.
 
 The paper's experiments are cross products over *named* things: workload
 presets ("Data Serving", "Web Search", ...) and fabric organizations
-("mesh", "flattened_butterfly", "noc_out", "ideal").  The registries here
-make both discoverable and extensible by name, so a new fabric preset or
-workload is a one-module addition::
+("mesh", "flattened_butterfly", "noc_out", "ideal", "cmesh").  The
+registries here make both discoverable and extensible by name, so a new
+fabric or workload is a one-module addition::
 
     from repro.scenarios import register_workload
 
@@ -13,17 +13,37 @@ workload is a one-module addition::
         return WorkloadConfig(name="My Workload", ...)
 
 and ``SweepSpec(axes={"workload": ("My Workload",), ...})`` immediately
-works.  The built-in entries are seeded by :mod:`repro.config.presets`,
-whose factory functions carry the same decorators: the six CloudSuite-style
-workloads populate :data:`workloads`, and the four system builders (one per
-:class:`repro.config.noc.Topology` member) populate :data:`topologies`
-under the enum's string values.
+works.
+
+Fabric plugins
+--------------
+``@register_topology`` registers a **fabric plugin**: an object with a
+``name`` plus four hooks — ``build_system(**kwargs)`` (the system preset),
+``build_system_map(config)`` (node placement and address interleaving),
+``build_network(sim, config, system_map)`` (the simulated interconnect)
+and ``describe(config)`` (the static router/link inventory the area and
+energy models read).  ``chip.builder.build_network``,
+``chip.system_map.build_system_map`` and ``noc.topology.describe_topology``
+are thin dispatches through :func:`fabric_for`, so registering a plugin is
+the *only* step needed to wire a new fabric into chip building, the
+power/area models and the scenario layer; see :mod:`repro.fabrics` for the
+protocol and the built-in plugin modules.
+
+For backwards compatibility ``@register_topology`` also accepts a bare
+``**kwargs -> SystemConfig`` factory (the pre-plugin registration form);
+such an entry can seed sweeps with configs whose *topology* belongs to a
+full plugin, but cannot itself build chips.
+
+The built-in entries are seeded on first lookup: the six CloudSuite-style
+workloads populate :data:`workloads` via decorators in
+:mod:`repro.config.presets`, and the built-in fabric plugins populate
+:data:`topologies` via decorators in the :mod:`repro.fabrics` modules.
 
 Import-order note: modules in ``repro.scenarios`` never import other
-``repro`` subpackages at module level (``repro.config.presets`` imports the
-decorators from here at *its* module level, so anything else would cycle).
-Lookups call :func:`ensure_seeded`, which imports the presets module
-on first use.
+``repro`` subpackages at module level (``repro.config.presets`` and the
+``repro.fabrics`` modules import the decorators from here at *their*
+module level, so anything else would cycle).  Lookups call
+:func:`ensure_seeded`, which imports both on first use.
 """
 
 from __future__ import annotations
@@ -110,8 +130,9 @@ class Registry:
 
 #: Workload presets: name -> ``() -> WorkloadConfig``.
 workloads = Registry("workload")
-#: Topology/system presets: name -> ``(num_cores=..., link_width_bits=...,
-#: seed=...) -> SystemConfig`` (without a workload attached).
+#: Fabric plugins: name -> object implementing
+#: :class:`repro.fabrics.base.FabricPlugin` (bare system factories are
+#: wrapped in an adapter on registration).
 topologies = Registry("topology")
 
 
@@ -120,9 +141,26 @@ def register_workload(name: str, factory: Optional[Callable] = None, **kwargs):
     return workloads.register(name, factory, **kwargs)
 
 
-def register_topology(name: str, factory: Optional[Callable] = None, **kwargs):
-    """Register a system factory (``**kwargs -> SystemConfig``) under ``name``."""
-    return topologies.register(name, factory, **kwargs)
+def register_topology(name: str, plugin=None, **kwargs):
+    """Register a fabric under ``name``; usable as a decorator.
+
+    ``plugin`` may be a :class:`~repro.fabrics.base.FabricPlugin` instance,
+    a plugin class (instantiated here), or — for backwards compatibility —
+    a bare ``**kwargs -> SystemConfig`` factory, which is wrapped in an
+    adapter that supports :func:`build_system` but cannot build chips.
+    The decorated object is returned unchanged, so stacking the decorator
+    on a class or function keeps it usable directly.
+    """
+
+    def decorator(obj):
+        from repro.fabrics.base import coerce_fabric_plugin
+
+        topologies.register(name, coerce_fabric_plugin(name, obj), **kwargs)
+        return obj
+
+    if plugin is not None:
+        return decorator(plugin)
+    return decorator
 
 
 _seeded = False
@@ -131,15 +169,17 @@ _seeded = False
 def ensure_seeded() -> None:
     """Load the built-in presets into the registries (idempotent).
 
-    The flag flips only after the import succeeds, so a failed seeding
+    The flag flips only after the imports succeed, so a failed seeding
     import is retried (and re-raised) on the next lookup instead of
     surfacing as a misleading empty registry.
     """
     global _seeded
     if _seeded:
         return
-    # The decorators on the preset factories run at import time.
+    # The decorators on the preset factories and the built-in fabric plugin
+    # modules run at import time.
     import repro.config.presets  # noqa: F401
+    import repro.fabrics  # noqa: F401
 
     _seeded = True
 
@@ -151,9 +191,27 @@ def workload(name: str):
 
 
 def build_system(name: str, **kwargs):
-    """Build the (workload-less) :class:`SystemConfig` for topology ``name``."""
+    """Build the (workload-less) :class:`SystemConfig` for fabric ``name``."""
     ensure_seeded()
-    return topologies.create(name, **kwargs)
+    return topologies.get(name).build_system(**kwargs)
+
+
+def fabric_for(config_or_topology) -> "FabricPlugin":  # noqa: F821 — lazy import
+    """The fabric plugin owning a config (or bare topology identifier).
+
+    Dispatch is keyed by :func:`repro.config.noc.topology_key` — the enum
+    value for built-ins, the registered name for plugin fabrics.  Unknown
+    keys raise :class:`KeyError` listing the registered fabrics.
+    """
+    ensure_seeded()
+    from repro.config.noc import topology_key
+
+    topology = getattr(
+        getattr(config_or_topology, "noc", config_or_topology),
+        "topology",
+        config_or_topology,
+    )
+    return topologies.get(topology_key(topology))
 
 
 def workload_names() -> List[str]:

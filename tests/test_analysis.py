@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis.metrics import geometric_mean, harmonic_mean, normalize, speedup
-from repro.analysis.report import ReportTable, format_float
+from repro.reporting.tables import ReportTable, format_float
 
 
 class TestMetrics:

@@ -144,9 +144,17 @@ class TestSystemConfig:
         assert default_mesh_dimensions(16) == (4, 4)
         assert default_mesh_dimensions(2) == (2, 1)
 
-    def test_unknown_grid_rejected(self):
-        with pytest.raises(ValueError):
-            default_mesh_dimensions(24)
+    def test_untabulated_counts_factorise_near_square(self):
+        assert default_mesh_dimensions(24) == (6, 4)
+        assert default_mesh_dimensions(96) == (12, 8)
+
+    def test_degenerate_grid_rejected_with_guidance(self):
+        with pytest.raises(ValueError, match=r"17x1.*max_aspect_ratio=None"):
+            default_mesh_dimensions(17)
+        with pytest.raises(ValueError, match="positive"):
+            default_mesh_dimensions(0)
+        # The escape hatch accepts the skewed grid explicitly.
+        assert default_mesh_dimensions(17, max_aspect_ratio=None) == (17, 1)
 
     def test_with_helpers_produce_copies(self):
         config = SystemConfig()
