@@ -36,7 +36,21 @@ class ArbitrationCandidate:
 
 
 class Arbiter:
-    """Interface for output-port arbiters."""
+    """Interface for output-port arbiters.
+
+    ``candidates`` may be any objects carrying the
+    :class:`ArbitrationCandidate` attributes (``in_port``, ``vc_index``,
+    ``buffer``, ``packet``, ``is_local``); routers pass their per-VC state
+    objects directly to avoid allocating a candidate per ready head.
+
+    ``_last_winner`` is the round-robin rotation point.  It lives on the
+    base class because ``Router._tick`` short-circuits the uncontended
+    single-candidate case without calling :meth:`choose` and records the
+    winner here — exactly what :class:`RoundRobinArbiter` would have done
+    (stateless policies simply ignore the attribute).
+    """
+
+    _last_winner: Optional[tuple] = None
 
     def choose(self, candidates: Sequence[ArbitrationCandidate]) -> Optional[ArbitrationCandidate]:
         raise NotImplementedError

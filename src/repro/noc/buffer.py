@@ -40,9 +40,13 @@ class VirtualChannelBuffer:
         self._queue: deque = deque()
         #: One-shot credit listeners: callables invoked (and cleared) when a
         #: reservation is released, i.e. when space can actually free up.
-        self._space_waiters: List[Callable[[], None]] = []
+        #: A dict (insertion-ordered) rather than a list: registration is
+        #: O(1) with duplicates deduplicated by key, and notification walks
+        #: the keys in registration order.
+        self._space_waiters: Dict[Callable[[], None], None] = {}
         #: Routing decision cached for the current head packet, managed by
-        #: the owning router (``(packet, out_index, out_port, downstream_vc)``).
+        #: the owning router: ``(packet, out_index, out_port,
+        #: downstream_vc_index, downstream_vc)`` — see ``Router._head_route``.
         self.head_route: Optional[tuple] = None
 
     # ------------------------------------------------------------------ #
@@ -93,23 +97,22 @@ class VirtualChannelBuffer:
         self.head_route = None
         waiters = self._space_waiters
         if waiters:
-            self._space_waiters = []
+            self._space_waiters = {}
             for waiter in waiters:
                 waiter()
         return packet
 
     def wait_for_space(self, waiter: Callable[[], None]) -> None:
-        """Register a one-shot credit listener (deduplicated).
+        """Register a one-shot credit listener (deduplicated, O(1)).
 
         ``waiter`` is invoked the next time a reservation is released via
-        :meth:`pop`.  Upstream components that find this VC full register
-        their (bound, reused) wake callback instead of re-polling; a waiter
-        already registered is not added twice, so a component blocked over
-        many cycles costs no queue growth and no kernel events at all.
+        :meth:`pop`, in registration order.  Upstream components that find
+        this VC full register their (bound, reused) wake callback instead of
+        re-polling; registering an already-registered waiter is a no-op, so
+        a component blocked over many cycles costs no queue growth and no
+        kernel events at all.
         """
-        waiters = self._space_waiters
-        if waiter not in waiters:
-            waiters.append(waiter)
+        self._space_waiters[waiter] = None
 
     # ------------------------------------------------------------------ #
     @property

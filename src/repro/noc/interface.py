@@ -58,7 +58,11 @@ class NetworkInterface(Component, PacketSink):
         self._router_port = router_in_port
         in_port = router.input_ports[router_in_port]
         self._inject_vcs = [
-            (msg_class, in_port.vc_index_for(msg_class), in_port.vc_for(msg_class))
+            (
+                self._inject_queues[msg_class],
+                in_port.vc_index_for(msg_class),
+                in_port.vc_for(msg_class),
+            )
             for msg_class in (MessageClass.RESPONSE, MessageClass.SNOOP, MessageClass.REQUEST)
         ]
 
@@ -71,7 +75,10 @@ class NetworkInterface(Component, PacketSink):
         self._inject_queues[message.msg_class].append(packet)
         self.messages_injected += 1
         self.flits_injected += packet.num_flits
-        self.wake(0)
+        # wake(0) with the same-cycle suppression test hoisted (several
+        # messages commonly inject within one cycle).
+        if self._next_wake != self.sim.cycle:
+            self.wake(0)
         return packet
 
     def _tick(self) -> None:
@@ -86,15 +93,19 @@ class NetworkInterface(Component, PacketSink):
         if self._router is None:
             raise RuntimeError(f"{self.name}: interface not attached to a router")
         progressed = False
-        for msg_class, vc_index, vc in self._inject_vcs:
-            queue = self._inject_queues[msg_class]
+        schedule_delivery = self.sim.schedule_delivery
+        for queue, vc_index, vc in self._inject_vcs:
             if not queue:
                 continue
             packet = queue[0]
-            if vc.can_reserve(packet.num_flits):
-                vc.reserve(packet.num_flits)
+            flits = packet.num_flits
+            # Inlined can_reserve/reserve (hot loop); must stay equivalent
+            # to VirtualChannelBuffer.can_reserve's admission test.
+            reserved = vc._reserved_flits
+            if reserved + flits <= vc.capacity_flits or not reserved:
+                vc._reserved_flits = reserved + flits
                 queue.popleft()
-                self.sim.schedule_delivery(
+                schedule_delivery(
                     self._router, packet, self._router_port, vc_index, self.injection_latency
                 )
                 if queue:

@@ -80,6 +80,63 @@ class PacketSink:
         raise NotImplementedError
 
 
+class _VcState:
+    """Per-(input port, VC) switching state owned by one router.
+
+    Created once per VC on first activation and reused for the router's
+    lifetime.  ``blocked`` implements credit-blocked head skipping: when a
+    tick finds a head that cannot reserve downstream space, the state is
+    marked blocked and ``on_credit`` (a stable bound method) is registered
+    with the downstream VC; the VC is then skipped by every arbitration
+    round until the downstream ``pop`` fires the listener.  Reservations
+    only ever shrink on ``pop``, so skipping is exactly equivalent to
+    re-checking ``can_reserve`` each round — just without the work.
+    """
+
+    __slots__ = (
+        "key", "in_port", "vc_index", "vc", "buffer", "packet", "is_local",
+        "active", "blocked", "blocked_port", "on_credit", "_router",
+    )
+
+    def __init__(
+        self, router: "Router", in_port: int, vc_index: int, vc, is_local: bool
+    ) -> None:
+        self.key = (in_port, vc_index)
+        self.in_port = in_port
+        self.vc_index = vc_index
+        self.vc = vc
+        #: Alias of ``vc`` under the arbitration-candidate attribute name:
+        #: the state object doubles as its own candidate (it carries every
+        #: attribute arbiters read), so a ready head costs zero allocations
+        #: per round.  ``packet`` is refreshed each time the state is
+        #: offered to an arbiter.
+        self.buffer = vc
+        self.packet = None
+        self.is_local = is_local
+        self.active = False
+        self.blocked = False
+        #: Output port of the blocked head, cached when ``blocked`` is set so
+        #: the skip path reads ``busy_until`` without chasing ``head_route``.
+        #: Only meaningful while ``blocked`` is True.
+        self.blocked_port = None
+        self._router = router
+        # Stable bound callback so VirtualChannelBuffer.wait_for_space can
+        # deduplicate registrations without allocating per registration.
+        self.on_credit = self._credit_return
+
+    def __lt__(self, other: "_VcState") -> bool:
+        return self.key < other.key
+
+    def _credit_return(self) -> None:
+        self.blocked = False
+        router = self._router
+        if router._next_wake != router.sim.cycle:
+            router.wake(0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"_VcState({self.key}, active={self.active}, blocked={self.blocked})"
+
+
 class Router(Component, PacketSink):
     """A virtual-channel router with a per-destination routing table."""
 
@@ -101,15 +158,14 @@ class Router(Component, PacketSink):
         self._arbiter_factory = arbiter_factory
         self._arbiters: List[Arbiter] = []
         self._local_input_ports: set = set()
-        # One stable bound method reused as the credit listener, so
-        # VirtualChannelBuffer.wait_for_space can deduplicate registrations
-        # across ticks without allocating a fresh callable each time.
-        self._credit_wake = self.wake
-        # Occupied input VCs, kept sorted by (in_port, vc_index) so ticks
-        # scan only buffers that actually hold packets (scan order — and
-        # therefore arbitration candidate order — matches a full sweep).
-        self._active_vcs: List[tuple] = []
-        self._active_keys: set = set()
+        # Occupied input VCs as _VcState objects, kept sorted by
+        # (in_port, vc_index) so ticks scan only buffers that actually hold
+        # packets (scan order — and therefore arbitration candidate order —
+        # matches a full sweep).  States are created lazily, one per VC, and
+        # indexed by [in_port][vc_index] rows (cheaper than a tuple-keyed
+        # dict on the receive/forward path).
+        self._vc_state_rows: List[List[Optional[_VcState]]] = []
+        self._active_vcs: List[_VcState] = []
         # Activity counters consumed by the energy model.
         self.flits_switched = 0
         self.packets_switched = 0
@@ -122,6 +178,7 @@ class Router(Component, PacketSink):
         """Attach an input port; returns its index."""
         self.input_ports.append(port)
         index = len(self.input_ports) - 1
+        self._vc_state_rows.append([None] * port.num_vcs)
         if is_local:
             self._local_input_ports.add(index)
         return index
@@ -167,14 +224,20 @@ class Router(Component, PacketSink):
         buffer = self.input_ports[in_port].vcs[vc_index]
         buffer.push(packet)
         self.buffer_flit_writes += packet.num_flits
-        key = (in_port, vc_index)
-        if key not in self._active_keys:
-            self._active_keys.add(key)
-            insort(
-                self._active_vcs,
-                (in_port, vc_index, buffer, in_port in self._local_input_ports),
+        row = self._vc_state_rows[in_port]
+        state = row[vc_index]
+        if state is None:
+            state = row[vc_index] = _VcState(
+                self, in_port, vc_index, buffer, in_port in self._local_input_ports
             )
-        self.wake(0)
+        if not state.active:
+            state.active = True
+            insort(self._active_vcs, state)
+        # wake(0) with the same-cycle suppression test hoisted: several
+        # packets commonly arrive within one cycle, and only the first needs
+        # to schedule the arbitration round.
+        if self._next_wake != self.sim.cycle:
+            self.wake(0)
 
     # ------------------------------------------------------------------ #
     # Per-cycle switching
@@ -218,87 +281,130 @@ class Router(Component, PacketSink):
 
         * a head blocked on a busy output port wakes when ``busy_until``
           expires (earliest such expiry among blocked heads);
-        * a head blocked on downstream credit registers the router's wake
-          callback with the downstream VC, which fires on its next ``pop``;
+        * a head blocked on downstream credit marks its ``_VcState`` blocked
+          and registers the state's credit listener with the downstream VC;
+          the VC is *skipped* by subsequent rounds (reservations only shrink
+          on ``pop``, so re-checking is provably futile) until the listener
+          fires and clears the flag;
         * forwarding a packet wakes the router one cycle later, when the
           freshly exposed head (and any arbitration losers) may move.
 
         A fully credit-blocked router therefore schedules zero kernel
-        events until credit returns.
+        events until credit returns.  Because the kernel drains a cycle's
+        bucket as one batch, all wakes a router accumulates within a cycle
+        (arrivals, credit returns) collapse into at most one extra
+        arbitration round, run after the rest of the cycle's events.
+
+        The loop body inlines ``VirtualChannelBuffer.peek``/``can_reserve``
+        (this is the hottest code in any congested simulation); the inlined
+        admission test must stay equivalent to ``can_reserve``.
         """
         now = self.sim.cycle
-        candidates_by_output: Dict[int, List[ArbitrationCandidate]] = {}
         next_busy_free = 0
-        forwarded = False
-        for in_index, vc_index, vc, is_local in self._active_vcs:
-            packet = vc.peek()
-            if packet is None:
+        # Most rounds produce candidates for zero or one output port, so the
+        # per-output dict is allocated lazily: the first contested output's
+        # candidates accumulate in ``first_cands`` and the dict materialises
+        # only when a second output shows up.  First-seen output order (and
+        # hence arbitration order) is identical to the dict-only version.
+        first_out = -1
+        first_cands = None
+        cands_by_out = None
+        for state in self._active_vcs:
+            if state.blocked:
+                # Credit-blocked head: the downstream VC cannot have gained
+                # space (only its pop can free any, and that fires
+                # ``on_credit``), so skip the route/credit work — but keep
+                # the busy-expiry contribution the full check would have
+                # made, so the wake schedule (and hence event order) is
+                # identical to re-examining the head.  ``blocked_port`` was
+                # cached when the head blocked and stays valid: the head can
+                # only change via a pop of this VC, which a blocked head
+                # cannot win.
+                busy_until = state.blocked_port.busy_until
+                if busy_until > now and (
+                    next_busy_free == 0 or busy_until < next_busy_free
+                ):
+                    next_busy_free = busy_until
+                continue
+            vc = state.vc
+            queue = vc._queue
+            if not queue:
                 # Defensive only: _forward removes a VC from the active list
                 # eagerly when it drains, so simulation never reaches this.
                 continue
+            packet = queue[0]
             cached = vc.head_route
             if cached is None or cached[0] is not packet:
                 cached = self._head_route(vc, packet)
-            out_index = cached[1]
             busy_until = cached[2].busy_until
             if busy_until > now:
                 if next_busy_free == 0 or busy_until < next_busy_free:
                     next_busy_free = busy_until
                 continue
             downstream_vc = cached[4]
-            if not downstream_vc.can_reserve(packet.num_flits):
-                downstream_vc.wait_for_space(self._credit_wake)
+            flits = packet.num_flits
+            reserved = downstream_vc._reserved_flits
+            if reserved + flits > downstream_vc.capacity_flits and reserved:
+                state.blocked = True
+                state.blocked_port = cached[2]
+                downstream_vc.wait_for_space(state.on_credit)
                 continue
-            candidates_by_output.setdefault(out_index, []).append(
-                ArbitrationCandidate(in_index, vc_index, vc, packet, is_local)
-            )
-        for out_index, candidates in candidates_by_output.items():
-            winner = self._arbiters[out_index].choose(candidates)
-            if winner is not None:
-                self._forward(winner, self.output_ports[out_index], now)
-                forwarded = True
+            out_index = cached[1]
+            state.packet = packet
+            if cands_by_out is not None:
+                candidates = cands_by_out.get(out_index)
+                if candidates is None:
+                    cands_by_out[out_index] = [state]
+                else:
+                    candidates.append(state)
+            elif first_out < 0:
+                first_out = out_index
+                first_cands = [state]
+            elif out_index == first_out:
+                first_cands.append(state)
+            else:
+                cands_by_out = {first_out: first_cands, out_index: [state]}
+        forwarded = False
+        if cands_by_out is None:
+            if first_out >= 0:
+                if len(first_cands) == 1:
+                    # RoundRobinArbiter.choose's uncontended path, distilled:
+                    # the lone candidate wins and becomes the rotation point.
+                    winner = first_cands[0]
+                    self._arbiters[first_out]._last_winner = winner.key
+                else:
+                    winner = self._arbiters[first_out].choose(first_cands)
+                if winner is not None:
+                    self._forward(winner, self.output_ports[first_out], now)
+                    forwarded = True
+        else:
+            for out_index, candidates in cands_by_out.items():
+                winner = self._arbiters[out_index].choose(candidates)
+                if winner is not None:
+                    self._forward(winner, self.output_ports[out_index], now)
+                    forwarded = True
         if forwarded:
             self.wake(1)
         elif next_busy_free > now:
             self.wake(next_busy_free - now)
 
-    def _collect_candidates(self, out_index: int) -> List[ArbitrationCandidate]:
-        """Candidates competing for one output port (used by unit tests)."""
-        candidates: List[ArbitrationCandidate] = []
-        for in_index, in_port in enumerate(self.input_ports):
-            for vc_index, vc in enumerate(in_port.vcs):
-                packet = vc.peek()
-                if packet is None:
-                    continue
-                if self.route(packet) != out_index:
-                    continue
-                downstream_vc = self.output_ports[out_index].downstream_input().vc_for(
-                    packet.msg_class
-                )
-                if not downstream_vc.can_reserve(packet.num_flits):
-                    continue
-                candidates.append(
-                    ArbitrationCandidate(
-                        in_port=in_index,
-                        vc_index=vc_index,
-                        buffer=vc,
-                        packet=packet,
-                        is_local=in_index in self._local_input_ports,
-                    )
-                )
-        return candidates
-
-    def _forward(self, winner: ArbitrationCandidate, out_port: OutputPort, now: int) -> None:
+    def _forward(self, winner: _VcState, out_port: OutputPort, now: int) -> None:
         vc = winner.buffer
         packet = winner.packet
-        _pkt, _out_index, _out_port, downstream_vc_index, downstream_vc = self._head_route(
-            vc, packet
-        )
+        # head_route is fresh: _tick validated it for this head this round,
+        # and nothing pops this VC between candidate collection and here.
+        cached = vc.head_route
+        downstream_vc_index = cached[3]
+        downstream_vc = cached[4]
         vc.pop()
-        if vc.empty:
-            self._active_keys.discard((winner.in_port, winner.vc_index))
-            self._active_vcs.remove((winner.in_port, winner.vc_index, vc, winner.is_local))
-        downstream_vc.reserve(packet.num_flits)
+        if not vc._queue:
+            winner.active = False
+            self._active_vcs.remove(winner)
+        # Inlined VirtualChannelBuffer.reserve: _tick ran the admission test
+        # for this head this round, and no other reservation can reach this
+        # downstream VC in between (one forward per output port per round,
+        # and distinct output ports feed distinct downstream input ports).
+        downstream_vc._reserved_flits += packet.num_flits
 
         packet.hops += 1
         num_flits = packet.num_flits

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import SimulationError, Simulator
 from repro.sim.stats import StatGroup
+
+_NO_ARGS: tuple = ()
 
 
 class Component:
@@ -39,14 +41,25 @@ class Component:
         ``pop``) re-run a router that already ticked this cycle, so freed
         space can be claimed the cycle it appears.
         """
-        now = self.sim.cycle
+        if delay < 0:
+            raise SimulationError(f"cannot wake with negative delay {delay}")
+        sim = self.sim
+        now = sim.cycle
         target = now + delay
         pending = self._next_wake
         # Suppress only if an earlier-or-equal wake is already pending.
         if now <= pending <= target:
             return
         self._next_wake = target
-        self.sim.schedule_at(self._run_tick, target)
+        # Inlined calendar-queue append (see Simulator.schedule_at): wake is
+        # the single most frequent scheduling call in any simulation, so the
+        # in-window case writes the ring directly.  On the heap kernel
+        # ``_win_end`` is 0, so every wake takes the schedule_at fallback.
+        if target < sim._win_end:
+            sim._buckets[target & sim._mask].append((self._run_tick, _NO_ARGS))
+            sim._bucket_count += 1
+        else:
+            sim.schedule_at(self._run_tick, target)
 
     def _run_tick(self) -> None:
         if self._next_wake != self.sim.cycle:

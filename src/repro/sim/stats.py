@@ -6,8 +6,17 @@ import math
 from typing import Dict, Iterable, List, Optional, Union
 
 
+class StatError(ValueError):
+    """Raised when a statistic is queried or updated in an invalid way."""
+
+
 class Counter:
-    """A monotonically updated scalar statistic."""
+    """A monotonically updated scalar statistic.
+
+    Monotonicity is enforced: :meth:`add` rejects negative amounts, so a
+    counter can never silently run backwards (use :meth:`reset` to start a
+    new measurement interval).
+    """
 
     def __init__(self, name: str, description: str = "") -> None:
         self.name = name
@@ -15,6 +24,10 @@ class Counter:
         self.value: float = 0
 
     def add(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise StatError(
+                f"{self.name}: counters are monotonic, cannot add {amount}"
+            )
         self.value += amount
 
     def reset(self) -> None:
@@ -55,11 +68,23 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
-        """Return the ``p``-th percentile (0-100) of retained samples."""
-        if not self._samples:
-            return 0.0
+        """Return the ``p``-th percentile (0-100) of retained samples.
+
+        Raises :class:`StatError` when samples are unavailable — either the
+        histogram was built with ``keep_samples=False`` (the samples were
+        discarded, so any answer would be fabricated) or nothing has been
+        recorded.  Silently returning 0.0 here once made tail-latency
+        reports read as zero; it must never do that again.
+        """
         if not 0 <= p <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self.keep_samples:
+            raise StatError(
+                f"{self.name}: percentile() needs retained samples but the "
+                f"histogram was created with keep_samples=False"
+            )
+        if not self._samples:
+            raise StatError(f"{self.name}: percentile() of an empty histogram")
         ordered = sorted(self._samples)
         rank = (p / 100.0) * (len(ordered) - 1)
         low = int(math.floor(rank))
@@ -131,16 +156,22 @@ class StatGroup:
             child.reset()
 
     def to_dict(self) -> dict:
-        """Flatten the group into nested plain dictionaries."""
+        """Flatten the group into nested plain dictionaries.
+
+        Empty histograms report ``min``/``max`` as 0.0 (matching their
+        mean) rather than leaking ``None`` into report tables and JSON
+        consumers that expect numbers.
+        """
         result: dict = {}
         for name, counter in self._counters.items():
             result[name] = counter.value
         for name, histogram in self._histograms.items():
+            empty = histogram.count == 0
             result[name] = {
                 "count": histogram.count,
                 "mean": histogram.mean,
-                "min": histogram.min,
-                "max": histogram.max,
+                "min": 0.0 if empty else histogram.min,
+                "max": 0.0 if empty else histogram.max,
             }
         for name, child in self._children.items():
             result[name] = child.to_dict()

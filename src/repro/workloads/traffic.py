@@ -63,19 +63,30 @@ class _TrafficGenerator(Component):
     def _tick(self) -> None:
         if not self._running:
             return
+        # This runs every cycle for every source, so hoist the per-draw
+        # attribute lookups.  The RNG draw *sequence* is part of the model's
+        # deterministic contract (MODEL_VERSION policy) and is unchanged.
+        rng = self.rng
+        rand = rng.random
+        rate = self.injection_rate
+        pick = self._pick_destination
+        req_fraction = self.request_fraction
+        send = self.network.send
+        generated = self.messages_generated
+        control_bits = control_message_bits()
+        data_bits = data_message_bits()
         for source in self.sources:
-            if self.rng.random() >= self.injection_rate:
+            if rand() >= rate:
                 continue
-            destination = self._pick_destination(source, self.rng)
+            destination = pick(source, rng)
             if destination == source:
                 continue
-            if self.rng.random() < self.request_fraction:
-                msg_class, bits = MessageClass.REQUEST, control_message_bits()
+            if rand() < req_fraction:
+                msg_class, bits = MessageClass.REQUEST, control_bits
             else:
-                msg_class, bits = MessageClass.RESPONSE, data_message_bits()
-            message = Message(src=source, dst=destination, msg_class=msg_class, size_bits=bits)
-            self.network.send(message)
-            self.messages_generated.add()
+                msg_class, bits = MessageClass.RESPONSE, data_bits
+            send(Message(src=source, dst=destination, msg_class=msg_class, size_bits=bits))
+            generated.add()
         self.wake(1)
 
 

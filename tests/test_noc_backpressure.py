@@ -104,7 +104,7 @@ class TestSingleRouterBackpressure:
         drained = sim.run(1)  # the arrival tick sees the busy port...
         assert drained > 0
         assert sim.pending_events == 1  # ...and leaves exactly one wake, at expiry
-        assert sim._queue[0][0] == 5
+        assert sim.next_event_cycle == 5
         sim.run(10)
         assert router.packets_switched == 2
 

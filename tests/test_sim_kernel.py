@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.kernel import HeapSimulator, SimulationError, Simulator
+
+#: Both scheduler implementations must honor the same (cycle, seq) contract;
+#: the edge-case tests below run against each.
+KERNELS = [Simulator, HeapSimulator]
 
 
 def test_initial_state():
@@ -218,3 +222,201 @@ def test_events_processed_accumulates():
     assert sim.events_processed == 2
     sim.run(2)
     assert sim.events_processed == 3
+
+
+# ---------------------------------------------------------------------- #
+# Edge cases the calendar queue must honor (run against both kernels)
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("kernel_cls", KERNELS)
+def test_same_cycle_fifo_across_all_schedule_kinds(kernel_cls):
+    """Interleaved schedule/schedule_call/schedule_delivery keep seq order."""
+    sim = kernel_cls()
+    order = []
+
+    class Sink:
+        def receive_packet(self, packet, in_port, vc_index):
+            order.append(packet)
+
+    sim.schedule_call(lambda tag: order.append(tag), ("call-1",), delay=3)
+    sim.schedule(lambda: order.append("plain-1"), delay=3)
+    sim.schedule_delivery(Sink(), "delivery-1", 0, 0, delay=3)
+    sim.schedule_call(lambda tag: order.append(tag), ("call-2",), delay=3)
+    sim.schedule_delivery(Sink(), "delivery-2", 0, 0, delay=3)
+    sim.schedule(lambda: order.append("plain-2"), delay=3)
+    sim.run(5)
+    assert order == [
+        "call-1", "plain-1", "delivery-1", "call-2", "delivery-2", "plain-2"
+    ]
+
+
+@pytest.mark.parametrize("kernel_cls", KERNELS)
+def test_event_at_exactly_end_cycle_runs(kernel_cls):
+    sim = kernel_cls()
+    fired = []
+    sim.schedule_at(lambda: fired.append(sim.cycle), 10)
+    sim.run_until(10)
+    assert fired == [10]
+    assert sim.cycle == 10
+
+
+@pytest.mark.parametrize("kernel_cls", KERNELS)
+def test_event_one_past_end_cycle_stays_queued(kernel_cls):
+    sim = kernel_cls()
+    fired = []
+    sim.schedule_at(lambda: fired.append(sim.cycle), 11)
+    sim.run_until(10)
+    assert fired == []
+    assert sim.pending_events == 1
+    sim.run_until(11)
+    assert fired == [11]
+
+
+@pytest.mark.parametrize("kernel_cls", KERNELS)
+def test_reentrant_run_rejected(kernel_cls):
+    sim = kernel_cls()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run(1)
+        except SimulationError:
+            errors.append("run")
+        try:
+            sim.run_to_completion()
+        except SimulationError:
+            errors.append("run_to_completion")
+
+    sim.schedule(reenter, delay=1)
+    sim.run(2)
+    assert errors == ["run", "run_to_completion"]
+    # The failed re-entry must not wedge the kernel.
+    sim.schedule(lambda: errors.append("after"), delay=1)
+    sim.run(2)
+    assert errors[-1] == "after"
+
+
+@pytest.mark.parametrize("kernel_cls", KERNELS)
+def test_far_future_event_crosses_bucket_horizon(kernel_cls):
+    """An overflow event must merge back in ahead of later-scheduled peers."""
+    sim = kernel_cls(horizon=8)
+    order = []
+    # Scheduled far beyond the 8-cycle window: lands in the overflow heap
+    # (calendar) or simply deep in the heap (reference kernel).
+    sim.schedule_at(lambda: order.append("early-seq"), 100)
+    sim.schedule_at(lambda: order.append("waypoint"), 50)
+
+    def late_same_cycle():
+        # By now cycle 100 is inside the window; this entry goes straight to
+        # the ring bucket that the overflow event must already occupy.
+        sim.schedule_at(lambda: order.append("late-seq"), 100)
+
+    sim.schedule_at(late_same_cycle, 99)
+    sim.run_until(200)
+    assert order == ["waypoint", "early-seq", "late-seq"]
+    assert sim.cycle == 200
+
+
+@pytest.mark.parametrize("kernel_cls", KERNELS)
+def test_overflow_chain_across_many_windows(kernel_cls):
+    sim = kernel_cls(horizon=4)
+    fired = []
+
+    def hop(n):
+        fired.append(sim.cycle)
+        if n:
+            sim.schedule(lambda: hop(n - 1), delay=13)
+
+    sim.schedule(lambda: hop(5), delay=13)
+    sim.run_to_completion()
+    assert fired == [13 * (i + 1) for i in range(6)]
+
+
+@pytest.mark.parametrize("kernel_cls", KERNELS)
+def test_bounded_run_to_completion_event_at_exact_limit(kernel_cls):
+    sim = kernel_cls()
+    fired = []
+    sim.schedule(lambda: fired.append(sim.cycle), delay=100)
+    sim.run_to_completion(max_cycles=100)
+    assert fired == [100]
+    assert sim.cycle == 100
+
+
+@pytest.mark.parametrize("kernel_cls", KERNELS)
+def test_events_processed_counts_event_that_raises(kernel_cls):
+    """Regression: a raising callback must still be counted as processed."""
+    sim = kernel_cls()
+    ran = []
+    sim.schedule(lambda: ran.append("ok"), delay=1)
+
+    def boom():
+        raise RuntimeError("boom")
+
+    sim.schedule(boom, delay=1)
+    sim.schedule(lambda: ran.append("never"), delay=1)
+    with pytest.raises(RuntimeError):
+        sim.run(5)
+    # Both the successful event and the raising one began executing.
+    assert sim.events_processed == 2
+    assert ran == ["ok"]
+    # The kernel is not wedged and the remaining event is still queued.
+    assert sim.pending_events == 1
+    sim.run(5)
+    assert ran == ["ok", "never"]
+    assert sim.events_processed == 3
+
+
+@pytest.mark.parametrize("kernel_cls", KERNELS)
+def test_next_event_cycle_reports_earliest(kernel_cls):
+    sim = kernel_cls(horizon=8)
+    assert sim.next_event_cycle is None
+    sim.schedule_at(lambda: None, 300)  # overflow on the calendar kernel
+    assert sim.next_event_cycle == 300
+    sim.schedule_at(lambda: None, 5)
+    assert sim.next_event_cycle == 5
+    sim.run_until(5)
+    assert sim.next_event_cycle == 300
+
+
+def test_env_selects_heap_kernel(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "heap")
+    sim = Simulator(seed=1)
+    assert isinstance(sim, HeapSimulator)
+    assert sim.kernel == "heap"
+    monkeypatch.delenv("REPRO_KERNEL")
+    assert Simulator(seed=1).kernel == "calendar"
+
+
+def test_env_rejects_unknown_kernel(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "hep")
+    with pytest.raises(ValueError, match="REPRO_KERNEL"):
+        Simulator(seed=1)
+    # Explicit 'calendar' and direct HeapSimulator construction stay valid.
+    monkeypatch.setenv("REPRO_KERNEL", "calendar")
+    assert Simulator(seed=1).kernel == "calendar"
+    monkeypatch.setenv("REPRO_KERNEL", "hep")
+    assert HeapSimulator(seed=1).kernel == "heap"
+
+
+def test_kernels_execute_identical_event_order():
+    """Randomized workload: both kernels fire events in the same order."""
+    import random
+
+    def drive(sim):
+        rng = random.Random(99)
+        trace = []
+
+        def evt(tag):
+            trace.append((sim.cycle, tag))
+            for _ in range(rng.randrange(3)):
+                delay = rng.choice((0, 1, 2, 3, 17, 1500))
+                sim.schedule_call(evt, (f"{tag}/{delay}",), delay)
+
+        for i in range(20):
+            sim.schedule_call(evt, (f"root{i}",), rng.randrange(40))
+        sim.run_until(4000)
+        return trace, sim.events_processed
+
+    trace_cal, n_cal = drive(Simulator(seed=7, horizon=16))
+    trace_heap, n_heap = drive(HeapSimulator(seed=7))
+    assert n_cal == n_heap
+    assert trace_cal == trace_heap

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.stats import Counter, Histogram, StatGroup
+from repro.sim.stats import Counter, Histogram, StatError, StatGroup
 
 
 class TestCounter:
@@ -24,6 +24,18 @@ class TestCounter:
         counter = Counter("c")
         counter.add(10)
         counter.reset()
+        assert counter.value == 0
+
+    def test_negative_add_rejected(self):
+        counter = Counter("c")
+        counter.add(5)
+        with pytest.raises(StatError):
+            counter.add(-1)
+        assert counter.value == 5
+
+    def test_zero_add_allowed(self):
+        counter = Counter("c")
+        counter.add(0)
         assert counter.value == 0
 
 
@@ -54,15 +66,28 @@ class TestHistogram:
         with pytest.raises(ValueError):
             hist.percentile(150)
 
-    def test_percentile_without_samples_is_zero(self):
-        assert Histogram("h").percentile(50) == 0.0
+    def test_percentile_of_empty_histogram_raises(self):
+        with pytest.raises(StatError):
+            Histogram("h").percentile(50)
+
+    def test_percentile_out_of_range_rejected_even_when_empty(self):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(150)
 
     def test_keep_samples_false_still_tracks_mean(self):
         hist = Histogram("h", keep_samples=False)
         hist.add(10)
         hist.add(20)
         assert hist.mean == 15
-        assert hist.percentile(50) == 0.0  # samples not retained
+
+    def test_keep_samples_false_percentile_raises(self):
+        hist = Histogram("h", keep_samples=False)
+        hist.add(10)
+        hist.add(20)
+        # Samples were discarded: a percentile here would be fabricated, and
+        # the old silent 0.0 made tail-latency reports read as zero.
+        with pytest.raises(StatError):
+            hist.percentile(99)
 
     def test_reset(self):
         hist = Histogram("h")
@@ -102,6 +127,12 @@ class TestStatGroup:
         data = group.to_dict()
         assert data["lat"]["count"] == 1
         assert data["lat"]["mean"] == 4
+
+    def test_to_dict_empty_histogram_has_numeric_extrema(self):
+        group = StatGroup("g")
+        group.histogram("lat")
+        data = group.to_dict()
+        assert data["lat"] == {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0}
 
     def test_flat_items(self):
         group = StatGroup("g")
