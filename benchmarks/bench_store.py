@@ -1,0 +1,151 @@
+"""Result-path load benchmark: columnar store vs legacy JSON directory.
+
+The full reproduction report resolves ~98 cached points (the union of
+every registered figure sweep).  This benchmark fills both backends with
+that exact working set — synthetic results, no simulation — and times a
+full-report load four ways:
+
+* **cold**: a fresh backend instance reads every point (JSON: one parse
+  per file; columnar: parse the compacted segment, then serve rows);
+* **warm**: the same instance reads every point again (JSON: re-parse
+  every file, the backend holds no state; columnar: serve from the parsed
+  segment index).
+
+The tripwire is the design's whole justification: the columnar warm read
+must not be slower than the JSON directory scan.  In practice it is far
+faster (one ``json.loads`` of one file vs one per point), so the bound
+only fires on a real regression in the store's read path.
+
+No simulation runs here — results are fabricated per point.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.chip.chip import SimulationResults
+from repro.experiments.engine import ResultCache
+from repro.experiments.harness import RunSettings
+from repro.reporting.tables import ReportTable
+from repro.store.columnar import ColumnarStore
+from repro.store.migrate import migrate_cache
+from repro.store.specs import report_points
+
+from bench_common import emit
+
+#: Timing rounds per measurement (best-of keeps CI noise out of the bound).
+ROUNDS = 3
+#: The columnar warm read may be at most this multiple of the JSON scan.
+WARM_SLACK = 1.5
+
+
+def _fake_result(sweep_point, index: int) -> SimulationResults:
+    coords = sweep_point.coords
+    return SimulationResults(
+        workload=str(coords.get("workload", "Web Search")),
+        topology=str(coords.get("topology", "mesh")),
+        num_cores=int(coords.get("num_cores", 16)),
+        active_cores=int(coords.get("num_cores", 16)),
+        cycles=600 + index,
+        total_instructions=9000 + 13 * index,
+        per_core_instructions={0: 500 + index},
+        network_mean_latency=10.0 + 0.25 * index,
+        llc_accesses=1000 + index,
+        llc_hit_rate=0.5,
+        snoop_rate=0.1,
+        l1i_mpki=20.0,
+        memory_reads=300,
+    )
+
+
+def _best_of(function, rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _fill(tmp_path):
+    """Fabricate the full report working set in both backends."""
+    settings = RunSettings.from_env()
+    sweep_points = report_points(settings)
+    json_cache = ResultCache(tmp_path / "json-cache")
+    for index, sweep_point in enumerate(sweep_points):
+        json_cache.store(sweep_point.point, _fake_result(sweep_point, index))
+    store = ColumnarStore(tmp_path / "store")
+    migrate_cache(json_cache.root, store)
+    points = [sweep_point.point for sweep_point in sweep_points]
+    return points, json_cache.root, store.root
+
+
+def _load_all(cache: ResultCache, points) -> None:
+    for point in points:
+        if cache.load(point) is None:
+            raise AssertionError(f"benchmark backend lost {point.content_hash()}")
+
+
+def _measure(tmp_path):
+    points, json_root, store_root = _fill(tmp_path)
+
+    def json_cold():
+        _load_all(ResultCache(json_root), points)
+
+    json_warm_cache = ResultCache(json_root)
+    _load_all(json_warm_cache, points)
+
+    def columnar_cold():
+        _load_all(ResultCache(store_root, backend="columnar"), points)
+
+    columnar_warm_cache = ResultCache(store_root, backend="columnar")
+    _load_all(columnar_warm_cache, points)
+
+    # The zero-copy table path skips the per-point hashing entirely (the
+    # hashes are a by-product of expanding the spec once).
+    warm_store = ColumnarStore(store_root)
+    hashes = [point.content_hash() for point in points]
+    warm_store.load_table(hashes)
+
+    return {
+        "points": len(points),
+        "json cold": _best_of(json_cold),
+        "json warm": _best_of(lambda: _load_all(json_warm_cache, points)),
+        "columnar cold": _best_of(columnar_cold),
+        "columnar warm": _best_of(lambda: _load_all(columnar_warm_cache, points)),
+        "columnar table": _best_of(lambda: warm_store.load_table(hashes)),
+    }
+
+
+def test_store_full_report_load(benchmark, tmp_path):
+    timings = benchmark.pedantic(
+        lambda: _measure(tmp_path), rounds=1, iterations=1
+    )
+
+    table = ReportTable(
+        ["Backend", "Cold load (ms)", "Warm load (ms)"],
+        title=f"Full-report load, {timings['points']} points (best of {ROUNDS})",
+    )
+    table.add_row(
+        "JSON directory", 1e3 * timings["json cold"], 1e3 * timings["json warm"]
+    )
+    table.add_row(
+        "Columnar store",
+        1e3 * timings["columnar cold"],
+        1e3 * timings["columnar warm"],
+    )
+    table.add_row(
+        "Columnar table (zero-copy)", "-", 1e3 * timings["columnar table"]
+    )
+    emit("Result store load: columnar vs JSON directory", table.render())
+
+    # Tripwire: the columnar read path must never regress past the JSON
+    # directory scan it replaced.  WARM_SLACK absorbs runner noise; the
+    # expected ratio is well under 1.
+    bound = WARM_SLACK * timings["json warm"]
+    if timings["columnar warm"] > bound:
+        raise AssertionError(
+            f"columnar warm load {1e3 * timings['columnar warm']:.1f} ms exceeds "
+            f"{WARM_SLACK}x the JSON directory scan "
+            f"({1e3 * timings['json warm']:.1f} ms)"
+        )

@@ -30,6 +30,11 @@ Environment variables
     Size cap for the cache directory in megabytes (default: unlimited).
     When a store pushes the directory past the cap, least-recently-used
     result files are evicted; loading an entry refreshes its recency.
+``REPRO_STORE``
+    Result-store backend: ``json`` (default; one file per point) or
+    ``columnar`` (append-only segment store, :mod:`repro.store`).  Both
+    backends share cache keys and values, so switching never invalidates
+    a result.
 ``REPRO_EXPERIMENT_SCALE``
     Consumed by :meth:`RunSettings.from_env` (see
     :mod:`repro.experiments.harness`); scaled settings hash differently, so
@@ -43,6 +48,7 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from enum import Enum
@@ -60,6 +66,8 @@ CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
 CACHE_ENV_VAR = "REPRO_CACHE"
 #: Cache size-cap environment variable (megabytes; unset = unlimited).
 CACHE_MAX_MB_ENV_VAR = "REPRO_CACHE_MAX_MB"
+#: Result-store backend environment variable (``json`` or ``columnar``).
+STORE_ENV_VAR = "REPRO_STORE"
 
 #: Bump whenever the hash payload or the cache file layout changes; old
 #: entries then read as misses instead of deserialisation errors.
@@ -184,23 +192,71 @@ def default_cache_max_bytes() -> Optional[int]:
     return int(max_mb * 1024 * 1024)
 
 
-class ResultCache:
-    """JSON result store keyed by :meth:`ExperimentPoint.content_hash`.
+def resolve_store_backend(backend: Optional[str] = None) -> str:
+    """Backend name: explicit argument > ``REPRO_STORE`` > ``json``."""
+    if backend is None:
+        backend = os.environ.get(STORE_ENV_VAR, "").strip().lower() or "json"
+    if backend not in ("json", "columnar"):
+        raise ValueError(
+            f"{STORE_ENV_VAR}={backend!r} is not a known result-store backend "
+            "(expected 'json' or 'columnar')"
+        )
+    return backend
 
-    Corrupted or schema-incompatible entries are deleted and treated as
-    misses, so a crashed writer or a format change can never wedge a sweep.
+
+class CacheCorruptionWarning(UserWarning):
+    """A cache entry was unreadable and has been quarantined."""
+
+
+#: ``load`` warns at most once per process about quarantined entries (a
+#: sweep over a damaged cache would otherwise emit hundreds of identical
+#: warnings); the quarantine itself still happens for every bad entry.
+_corruption_warned = False
+
+
+class ResultCache:
+    """Result store keyed by :meth:`ExperimentPoint.content_hash`.
+
+    This class is the default **JSON-directory backend** (one
+    ``<hash>.json`` file per point) and the dispatch point for the
+    pluggable backends: constructing ``ResultCache(...)`` returns a
+    :class:`repro.store.cache.ColumnarResultCache` instead when
+    ``REPRO_STORE=columnar`` is set (or ``backend="columnar"`` is passed).
+    Both backends share keys and values, so a sweep can switch freely;
+    ``python -m repro.store.migrate`` imports a JSON directory into a
+    columnar store.
+
+    Corrupted or schema-incompatible entries are quarantined (renamed to
+    ``*.corrupt``) and treated as misses, so a crashed writer or a format
+    change can never wedge a sweep — and the damaged bytes survive for
+    diagnosis instead of being destroyed.
 
     The directory can be size-capped (``max_bytes`` argument or the
     ``REPRO_CACHE_MAX_MB`` environment variable): when a store pushes the
     total past the cap, the least-recently-used result files are evicted.
     A cache hit refreshes the entry's mtime, so recency tracking survives
-    filesystems without reliable atimes.
+    filesystems without reliable atimes.  Eviction tolerates concurrent
+    writers: entries that vanish mid-scan (a sibling process evicted or
+    rewrote them) are simply skipped.
     """
+
+    def __new__(
+        cls,
+        root: Optional[os.PathLike] = None,
+        max_bytes: Optional[int] = None,
+        backend: Optional[str] = None,
+    ):
+        if cls is ResultCache and resolve_store_backend(backend) == "columnar":
+            from repro.store.cache import ColumnarResultCache
+
+            return object.__new__(ColumnarResultCache)
+        return object.__new__(cls)
 
     def __init__(
         self,
         root: Optional[os.PathLike] = None,
         max_bytes: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.root = Path(root) if root is not None else default_cache_root()
         self.max_bytes = max_bytes if max_bytes is not None else default_cache_max_bytes()
@@ -211,8 +267,35 @@ class ResultCache:
     def path_for(self, point: ExperimentPoint) -> Path:
         return self.root / f"{point.content_hash()}.json"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move an unreadable entry aside (``*.corrupt``) and warn once.
+
+        ``os.replace`` keeps this atomic; losing the race against a sibling
+        process that evicted (or already quarantined) the entry is fine —
+        either way the bad file no longer answers lookups.
+        """
+        global _corruption_warned
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            return
+        if not _corruption_warned:
+            _corruption_warned = True
+            warnings.warn(
+                f"quarantined corrupt result-cache entry {path.name} "
+                f"(kept as {path.name}.corrupt; further corrupt entries "
+                "will be quarantined silently)",
+                CacheCorruptionWarning,
+                stacklevel=3,
+            )
+
     def load(self, point: ExperimentPoint) -> Optional[SimulationResults]:
-        """Return the cached result for ``point``, or ``None`` on a miss."""
+        """Return the cached result for ``point``, or ``None`` on a miss.
+
+        A corrupt or truncated entry (crashed writer, disk trouble, schema
+        drift) is quarantined and read as a miss, so the point is simply
+        re-simulated instead of aborting a sweep halfway through.
+        """
         path = self.path_for(point)
         try:
             payload = json.loads(path.read_text())
@@ -222,10 +305,7 @@ class ResultCache:
         except FileNotFoundError:
             return None
         except (ValueError, KeyError, TypeError, AttributeError, OSError):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._quarantine(path)
             return None
         try:
             os.utime(path)  # mark as recently used for the LRU size cap
@@ -267,6 +347,11 @@ class ResultCache:
         crosses the cap (concurrent writers can make the estimate stale,
         but every enforcement starts from a fresh scan), so a sweep's cost
         stays O(points) rather than O(points x cached entries).
+
+        Several processes may share the directory (sharded sweeps, farm
+        workers), so every filesystem step tolerates entries vanishing
+        underneath it: a stat or unlink that loses the race against a
+        sibling's eviction/rewrite skips that entry instead of raising.
         """
         if self.max_bytes is None:
             return
@@ -283,10 +368,15 @@ class ResultCache:
 
         entries = []
         total = 0
-        for path in self.root.glob("*.json"):
+        try:
+            paths = list(self.root.glob("*.json"))
+        except OSError:  # the directory itself vanished mid-listing
+            self._approx_total_bytes = None
+            return
+        for path in paths:
             try:
                 stat = path.stat()
-            except OSError:
+            except OSError:  # evicted or rewritten by a sibling process
                 continue
             total += stat.st_size
             entries.append((stat.st_mtime, path.name, stat.st_size, path))
@@ -298,8 +388,10 @@ class ResultCache:
                 continue
             try:
                 path.unlink()
+            except FileNotFoundError:
+                pass  # a sibling evicted it first; its bytes are gone too
             except OSError:
-                continue
+                continue  # still on disk (permissions...): keep it in the total
             total -= size
         self._approx_total_bytes = total
 

@@ -19,8 +19,10 @@ This package is the experiment-facing surface of the reproduction:
   paper-vs-measured layer in :mod:`repro.reporting` consumes these);
 * :mod:`~repro.scenarios.run` — :func:`run_sweep` (blocking) and
   :func:`iter_results` (streams records as simulations finish);
-* :mod:`~repro.scenarios.merge` — fold a shard's cache directory into
-  another (``python -m repro.scenarios.merge``).
+* :mod:`~repro.scenarios.merge` — fold a shard's JSON cache directory
+  into another (``python -m repro.scenarios.merge``); for the columnar
+  store backend the equivalent is importing each shard with
+  ``python -m repro.store.migrate`` and compacting (:mod:`repro.store`).
 
 Typical usage::
 
@@ -58,6 +60,7 @@ from repro.scenarios.results import (
     RecordDelta,
     ResultRecord,
     ResultSet,
+    TableMetrics,
     record_for,
 )
 from repro.scenarios.run import iter_results, run_sweep
@@ -72,6 +75,7 @@ __all__ = [
     "ResultSet",
     "SweepPoint",
     "SweepSpec",
+    "TableMetrics",
     "build_system",
     "fabric_for",
     "iter_results",

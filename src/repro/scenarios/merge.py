@@ -13,6 +13,12 @@ source and destination) means both sides already hold the result of the
 identical simulation; collisions are skipped by default and only
 overwritten with ``--overwrite``.  Non-result files (anything but
 ``<sha256>.json``) are ignored.
+
+This tool operates on the legacy **JSON-directory** backend only.  On the
+columnar store backend (``REPRO_STORE=columnar``, :mod:`repro.store`) the
+same fold is ``python -m repro.store.migrate <shard-cache> <store>`` per
+shard followed by a compact — and the lease-based farm
+(``python -m repro.store.farm``) removes the need to shard by hand at all.
 """
 
 from __future__ import annotations

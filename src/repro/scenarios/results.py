@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 #: Scalar metrics copied off :class:`~repro.chip.chip.SimulationResults`
 #: into every record (attribute names; properties included).
@@ -112,6 +112,37 @@ class ResultRecord:
         )
 
 
+class TableMetrics(Mapping):
+    """Lazy metric view over one row of a columnar store table.
+
+    Stands in for a :class:`ResultRecord`'s ``metrics`` dict without
+    copying anything at construction: reading a metric materialises the
+    row's :class:`SimulationResults` once (cached inside the table) and
+    resolves the metric through the same attributes/properties
+    :func:`record_for` uses, so values are identical to the eager path.
+    """
+
+    __slots__ = ("_table", "_index")
+
+    def __init__(self, table, index: int) -> None:
+        self._table = table
+        self._index = index
+
+    def __getitem__(self, name: str) -> float:
+        if name not in METRIC_NAMES:
+            raise KeyError(name)
+        return getattr(self._table.result(self._index), name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(METRIC_NAMES)
+
+    def __len__(self) -> int:
+        return len(METRIC_NAMES)
+
+    def __repr__(self) -> str:
+        return f"TableMetrics(row {self._index})"
+
+
 def record_for(sweep_point, result, keep_result: bool = True) -> ResultRecord:
     """Build the :class:`ResultRecord` for one executed sweep point."""
     return ResultRecord(
@@ -129,8 +160,12 @@ class ResultSet(Sequence[ResultRecord]):
     return a new :class:`ResultSet`) plus:
 
     * ``filter(**coords)`` / ``value(metric, **coords)`` /
-      ``axis_values(name)`` / ``pivot(index, columns, metric)`` — queries
-      over the records' coordinates;
+      ``axis_values(name)`` / ``pivot(index, columns, metric)`` /
+      ``iter_values(metric, **coords)`` (streaming) — queries over the
+      records' coordinates;
+    * ``from_store_table(sweep_points, table)`` — zero-copy construction
+      over a columnar store table (:mod:`repro.store`), metrics resolved
+      lazily per row;
     * ``merge(other)`` / ``summary(metric, **coords)`` / ``delta(other,
       metric)`` — combination and comparison across result sets (the
       reporting layer and before/after experiments build on these);
@@ -180,6 +215,21 @@ class ResultSet(Sequence[ResultRecord]):
                 f"selection {selection!r} matched {len(matches)} records, expected 1"
             )
         return matches[0].metric(metric)
+
+    def iter_values(
+        self, metric: str, **selection
+    ) -> Iterator[Tuple[Dict[str, object], float]]:
+        """Stream ``(coords, value)`` pairs for ``metric``, lazily.
+
+        The streaming complement of :meth:`value`/:meth:`pivot`: records
+        are visited in order and metric values resolved one at a time, so
+        a store-backed set (:meth:`from_store_table`) materialises only
+        the rows actually consumed — a serving layer can answer "first
+        matching row" queries without touching the rest of the table.
+        """
+        for record in self.records:
+            if record.matches(selection):
+                yield record.coords, record.metric(metric)
 
     def axis_values(self, name: str) -> List[object]:
         """Distinct values of coordinate ``name``, in first-seen order."""
@@ -281,6 +331,43 @@ class ResultSet(Sequence[ResultRecord]):
                 )
             )
         return deltas
+
+    # -- store-backed construction -------------------------------------- #
+    @classmethod
+    def from_store_table(cls, sweep_points, table, spec=None) -> "ResultSet":
+        """Zero-copy construction over a columnar store table.
+
+        ``sweep_points`` are the expanded
+        :class:`~repro.scenarios.spec.SweepPoint`\\ s of a spec and
+        ``table`` a :class:`~repro.store.columnar.StoreTable` whose rows
+        line up with them (``table.hashes[i] ==
+        sweep_points[i].content_hash()`` — :func:`repro.store.query.load_sweep`
+        builds exactly this pairing).  No metric values are copied or even
+        read here: each record's ``metrics`` is a :class:`TableMetrics`
+        view that materialises its row on first access.
+        """
+        if len(sweep_points) != len(table):
+            raise ValueError(
+                f"{len(sweep_points)} sweep point(s) vs {len(table)} table "
+                "row(s); load the table from the same expansion"
+            )
+        records = []
+        for index, sweep_point in enumerate(sweep_points):
+            digest = table.hashes[index]
+            if sweep_point.content_hash() != digest:
+                raise ValueError(
+                    f"row {index} is keyed {digest[:12]}..., expected "
+                    f"{sweep_point.content_hash()[:12]}... — table and "
+                    "expansion are misaligned"
+                )
+            records.append(
+                ResultRecord(
+                    coords=dict(sweep_point.coords),
+                    metrics=TableMetrics(table, index),
+                    point_hash=digest,
+                )
+            )
+        return cls(records, spec=spec)
 
     # -- serialisation -------------------------------------------------- #
     def to_dict(self, include_results: bool = False) -> Dict[str, object]:

@@ -1,0 +1,57 @@
+"""The columnar store mounted behind the engine's ``ResultCache`` API.
+
+``ResultCache(...)`` returns an instance of this class when the
+``REPRO_STORE=columnar`` environment variable (or ``backend="columnar"``)
+selects the columnar backend — see
+:class:`repro.experiments.engine.ResultCache` for the dispatch.  The same
+cache keys (``ExperimentPoint.content_hash``) and the same result values
+flow through both backends, so switching backends never invalidates or
+alters a result; only the on-disk shape changes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.chip.chip import SimulationResults
+from repro.experiments.engine import ExperimentPoint, ResultCache
+from repro.store.columnar import ColumnarStore
+
+
+class ColumnarResultCache(ResultCache):
+    """:class:`ResultCache` backed by a :class:`ColumnarStore` directory.
+
+    Differences from the JSON-directory backend, by design:
+
+    * ``store()`` appends a one-row segment (atomic, concurrency-free);
+      batch writers (the farm, the migrator) append multi-row segments
+      through :attr:`store` directly and ``compact()`` afterwards.
+    * ``max_bytes`` / ``REPRO_CACHE_MAX_MB`` does not apply — the store is
+      an append-only archive, not an LRU cache; prune by compacting or
+      deleting the directory.
+    * ``path_for`` has no meaning (a point lives in some row of some
+      segment, not in a file of its own).
+    """
+
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        max_bytes: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        super().__init__(root=root, max_bytes=None, backend="columnar")
+        self.store_backend = ColumnarStore(self.root)
+
+    def path_for(self, point: ExperimentPoint) -> Path:
+        raise NotImplementedError(
+            "the columnar backend stores rows inside segments, not one file "
+            "per point; use load()/store() (or ColumnarStore.load_table)"
+        )
+
+    def load(self, point: ExperimentPoint) -> Optional[SimulationResults]:
+        return self.store_backend.get(point.content_hash())
+
+    def store(self, point: ExperimentPoint, result: SimulationResults) -> Path:
+        return self.store_backend.append_results([(point.content_hash(), result)])

@@ -4,6 +4,8 @@ import json
 import os
 import pickle
 import subprocess
+import warnings
+import shutil
 import sys
 from pathlib import Path
 
@@ -217,6 +219,115 @@ class TestResultCache:
     def test_cache_disabled_by_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE", "0")
         assert SweepExecutor(jobs=1).cache is None
+
+    def test_truncated_entry_is_quarantined_with_one_warning(
+        self, tmp_path, monkeypatch
+    ):
+        """A torn write reads as a miss, is kept as *.corrupt, warns once."""
+        from repro.experiments import engine
+
+        monkeypatch.setattr(engine, "_corruption_warned", False)
+        cache = ResultCache(tmp_path)
+        point = tiny_point()
+        executor = SweepExecutor(jobs=1, cache=cache)
+        (result,) = executor.run([point])
+
+        path = cache.path_for(point)
+        intact = path.read_text()
+        path.write_text(intact[: len(intact) // 2])  # writer died mid-flush
+        with pytest.warns(engine.CacheCorruptionWarning):
+            assert cache.load(point) is None
+        assert not path.exists()
+        quarantined = path.with_name(path.name + ".corrupt")
+        assert quarantined.exists()  # damaged bytes survive for diagnosis
+
+        (recovered,) = executor.run([point])
+        assert recovered == result
+        assert executor.last_stats.simulations_run == 1
+
+        # Further corruption is quarantined silently: one warning per process.
+        path.write_text("{ torn again")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", engine.CacheCorruptionWarning)
+            assert cache.load(point) is None
+        assert not path.exists()
+
+    def test_quarantined_entries_never_answer_lookups_again(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.experiments import engine
+
+        monkeypatch.setattr(engine, "_corruption_warned", True)
+        cache = ResultCache(tmp_path)
+        point = tiny_point()
+        SweepExecutor(jobs=1, cache=cache).run([point])
+        cache.path_for(point).write_text("not json at all")
+        assert cache.load(point) is None
+        assert cache.load(point) is None  # the .corrupt file is not re-read
+
+
+class TestCacheEvictionRaces:
+    """``REPRO_CACHE_MAX_MB`` eviction with concurrent writers in the mix."""
+
+    def _fill(self, root, count):
+        root.mkdir(parents=True, exist_ok=True)
+        for index in range(count):
+            (root / (f"{index:064x}" + ".json")).write_text("x" * 200)
+
+    def test_eviction_tolerates_entry_vanishing_before_stat(
+        self, tmp_path, monkeypatch
+    ):
+        """A sibling evicts an entry between the glob and our stat: skip it."""
+        self._fill(tmp_path, 4)
+        cache = ResultCache(tmp_path, max_bytes=1)
+        point = tiny_point()
+
+        real_stat = Path.stat
+        raced = []
+
+        def racing_stat(self, **kwargs):
+            if self.name.startswith("0" * 10) and not raced:
+                raced.append(self.name)
+                os.remove(self)  # the sibling wins the race...
+            return real_stat(self, **kwargs)  # ...so we see FileNotFoundError
+
+        monkeypatch.setattr(Path, "stat", racing_stat)
+        SweepExecutor(jobs=1, cache=cache).run([point])
+        assert raced  # the race actually happened
+        assert cache.path_for(point).exists()  # newest entry is protected
+        assert list(tmp_path.glob("*.json")) == [cache.path_for(point)]
+
+    def test_eviction_tolerates_entry_vanishing_before_unlink(
+        self, tmp_path, monkeypatch
+    ):
+        """A sibling deletes an entry we chose to evict: its bytes still count
+        as freed, so eviction stops at the cap instead of over-evicting."""
+        self._fill(tmp_path, 4)
+        cache = ResultCache(tmp_path, max_bytes=1)
+        point = tiny_point()
+
+        real_unlink = Path.unlink
+        raced = []
+
+        def racing_unlink(self, *args, **kwargs):
+            if not raced and self.suffix == ".json":
+                raced.append(self.name)
+                real_unlink(self)
+                raise FileNotFoundError(str(self))
+            return real_unlink(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "unlink", racing_unlink)
+        SweepExecutor(jobs=1, cache=cache).run([point])
+        assert raced
+        assert cache.path_for(point).exists()
+        assert list(tmp_path.glob("*.json")) == [cache.path_for(point)]
+
+    def test_eviction_survives_cache_directory_removal(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", max_bytes=1)
+        point = tiny_point()
+        SweepExecutor(jobs=1, cache=cache).run([point])
+        shutil.rmtree(tmp_path / "cache")
+        cache._enforce_size_cap()  # a bare rescan of a vanished dir: no crash
 
 
 class TestSweepExecutor:
