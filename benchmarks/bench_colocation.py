@@ -1,0 +1,69 @@
+"""Tenancy overhead: a mapped chip vs. the homogeneous fast path.
+
+The tenancy layer must be pay-as-you-go: a chip built *without* a
+``WorkloadMap`` takes the exact pre-tenancy code path, and a mapped chip
+adds only per-tenant stream construction, the probe overlay and the
+per-tenant latency attribution.  This benchmark runs one short 64-core
+mesh window each way and fails if the mapped run costs more than a small
+multiple of the plain run — i.e. if per-message tenant attribution (a
+dict lookup per delivery) or the overlay tick ever turns into a hot-path
+regression.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.chip.builder import build_chip
+from repro.reporting.tables import ReportTable
+from repro.scenarios import build_system, workload
+from repro.tenancy import build_placement
+
+from bench_common import emit
+
+NUM_CORES = 64
+WINDOWS = dict(warmup_references=600, detailed_warmup_cycles=400, measure_cycles=1500)
+
+
+def _run_plain() -> float:
+    config = build_system("mesh", num_cores=NUM_CORES).with_workload(
+        workload("Data Serving")
+    )
+    start = time.perf_counter()
+    build_chip(config).run_experiment(**WINDOWS)
+    return time.perf_counter() - start
+
+
+def _run_mapped() -> float:
+    wmap = build_placement(
+        "split_half",
+        NUM_CORES,
+        ["Data Serving", "MapReduce-C"],
+        arrival="bursty",
+        rate=0.02,
+    )
+    config = build_system("mesh", num_cores=NUM_CORES).with_workload_map(wmap)
+    start = time.perf_counter()
+    results = build_chip(config).run_experiment(**WINDOWS)
+    assert results.per_tenant_latency  # the overlay actually measured tails
+    return time.perf_counter() - start
+
+
+def test_tenancy_overhead(benchmark):
+    plain, mapped = benchmark.pedantic(
+        lambda: (_run_plain(), _run_mapped()), rounds=1, iterations=1
+    )
+
+    table = ReportTable(
+        ["Configuration", "wall (s)"],
+        title=f"{NUM_CORES}-core mesh, short window",
+    )
+    table.add_row("homogeneous (no map)", plain)
+    table.add_row("split_half + bursty overlay", mapped)
+    emit("Tenancy overhead (mapped vs plain chip)", table.render())
+
+    # The mapped run simulates comparable coherence traffic plus the probe
+    # overlay; anything past 4x the plain run means tenant attribution or
+    # the overlay tick went quadratic/hot.  Generous bound for CI noise.
+    ratio = mapped / max(plain, 1e-3)
+    assert ratio < 4, f"mapped chip run is {ratio:.1f}x the plain run"

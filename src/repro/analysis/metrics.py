@@ -41,3 +41,31 @@ def harmonic_mean(values: Sequence[float]) -> float:
     if any(v <= 0 for v in values):
         raise ValueError("harmonic mean requires strictly positive values")
     return len(values) / sum(1.0 / v for v in values)
+
+
+def percentile_key(p: float) -> str:
+    """Canonical dict key for the ``p``-th percentile: ``p50``, ``p99.9``."""
+    return f"p{int(p)}" if float(p).is_integer() else f"p{p:g}"
+
+
+def tail_summary(
+    histogram, percentiles: Sequence[float] = (50.0, 95.0, 99.0)
+) -> Dict[str, float]:
+    """Summarise a latency histogram as count/mean plus tail percentiles.
+
+    Returns ``{"count", "mean", "p50", "p95", "p99"}`` (keys per
+    ``percentiles``).  An empty histogram summarises to zero count/mean
+    with *no* percentile keys — a missing key reads as "not measured",
+    never as a fabricated 0.0 tail.  A non-empty histogram that discarded
+    its samples (``keep_samples=False``) raises
+    :class:`repro.sim.stats.StatError`, preserving the percentile
+    contract.
+    """
+    summary: Dict[str, float] = {
+        "count": float(histogram.count),
+        "mean": float(histogram.mean),
+    }
+    if histogram.count:
+        for p in percentiles:
+            summary[percentile_key(p)] = float(histogram.percentile(p))
+    return summary

@@ -21,8 +21,15 @@ def build_network(sim: Simulator, config: SystemConfig, system_map: SystemMap) -
     return fabric_for(config).build_network(sim, config, system_map)
 
 
-def build_chip(config: SystemConfig) -> "repro.chip.chip.Chip":  # noqa: F821
-    """Build a complete chip (cores, caches, NoC, memory) for ``config``."""
+def build_chip(config: SystemConfig, workload_map=None) -> "repro.chip.chip.Chip":  # noqa: F821
+    """Build a complete chip (cores, caches, NoC, memory) for ``config``.
+
+    ``workload_map`` (a :class:`repro.tenancy.WorkloadMap`) overrides the
+    config's tenancy placement — a convenience for building one chip under
+    several placements without rebuilding the config by hand.
+    """
     from repro.chip.chip import Chip
 
+    if workload_map is not None:
+        config = config.with_workload_map(workload_map)
     return Chip(config)

@@ -55,6 +55,12 @@ class SimulationResults:
     l1i_mpki: float = 0.0
     bank_conflicts: int = 0
     network_activity: Dict[str, float] = field(default_factory=dict)
+    #: Tenancy placement name ("" for homogeneous single-workload chips).
+    placement: str = ""
+    #: Tenant label -> count/mean/p50/p95/p99 of network delivery latency.
+    #: Empty tenants carry count/mean only — a missing percentile key means
+    #: "not measured", never a fabricated 0.0 tail.
+    per_tenant_latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-JSON form used by the experiment engine's result cache."""
@@ -97,25 +103,62 @@ class Chip:
     """A complete simulated chip for one (configuration, workload) pair."""
 
     def __init__(self, config: SystemConfig) -> None:
-        if config.workload is None:
+        self.workload_map = config.workload_map
+        if config.workload is None and self.workload_map is None:
             raise ValueError("SystemConfig.workload must be set to build a chip")
         self.config = config
-        self.workload = config.workload
+        self._tenant_workloads = self._resolve_tenant_workloads()
+        # The headline workload: the config's own, else the first tenant's.
+        self.workload = (
+            config.workload if config.workload is not None else self._tenant_workloads[0]
+        )
         self.sim = Simulator(config.seed)
         self.system_map = build_system_map(config)
         self.network = build_network(self.sim, config, self.system_map)
 
-        self.active_core_ids: List[int] = self.system_map.active_core_ids(
-            self.workload.scaled_cores(config.num_cores)
-        )
+        if self.workload_map is None:
+            self.active_core_ids: List[int] = self.system_map.active_core_ids(
+                self.workload.scaled_cores(config.num_cores)
+            )
+        else:
+            self.workload_map.validate_for(config.num_cores)
+            self.active_core_ids = sorted(
+                core for cores in self._tenant_active_cores() for core in cores
+            )
         self.core_nodes: Dict[int, CoreNode] = {}
         self.directories: Dict[int, DirectoryController] = {}
         self.memory_controllers: Dict[int, MemoryController] = {}
         self.tiles: Dict[int, Tile] = {}
+        self.tenant_traffic: Dict[str, "TenantTraffic"] = {}  # noqa: F821
 
         self._build_components()
         self._register_endpoints()
+        self._build_tenant_overlay()
         self._started = False
+
+    def _resolve_tenant_workloads(self):
+        """WorkloadConfig per tenant of the map (empty list when untenanted)."""
+        if self.workload_map is None:
+            return []
+        from repro.scenarios.registry import workload as workload_preset
+
+        return [
+            workload_preset(tenant.workload) for tenant in self.workload_map.tenants
+        ]
+
+    def _tenant_active_cores(self) -> List[List[int]]:
+        """Per tenant: the cores that actually execute (scalability-limited).
+
+        Each tenant's workload scales within *its own* core group, so a
+        16-core-max workload co-located on a 64-core chip fills at most 16
+        of its assigned cores — the same rule the homogeneous path applies
+        chip-wide.
+        """
+        active: List[List[int]] = []
+        for index, workload in enumerate(self._tenant_workloads):
+            cores = self.workload_map.tenant_cores(index)
+            active.append(cores[: workload.scaled_cores(len(cores))])
+        return active
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -138,22 +181,27 @@ class Chip:
         system_map = self.system_map
 
         # Cores (only the active ones execute a stream).
-        active = self.active_core_ids
-        for rank, core_id in enumerate(active):
-            node_id = system_map.core_node(core_id)
-            stream = make_stream(self.workload, rank, len(active), seed=config.seed)
-            core_node = CoreNode(
-                self.sim,
-                f"core{core_id}",
-                core_id=core_id,
-                node_id=node_id,
-                config=config,
-                workload=self.workload,
-                stream=stream,
-                send=self._make_sender(node_id),
-                home_node_for=system_map.home_node,
-            )
-            self.core_nodes[core_id] = core_node
+        if self.workload_map is None:
+            active = self.active_core_ids
+            for rank, core_id in enumerate(active):
+                node_id = system_map.core_node(core_id)
+                stream = make_stream(self.workload, rank, len(active), seed=config.seed)
+                self._add_core_node(core_id, node_id, self.workload, stream)
+        else:
+            from repro.tenancy.placement import TENANT_ADDRESS_STRIDE
+
+            for index, cores in enumerate(self._tenant_active_cores()):
+                workload = self._tenant_workloads[index]
+                for rank, core_id in enumerate(cores):
+                    node_id = system_map.core_node(core_id)
+                    stream = make_stream(
+                        workload,
+                        rank,
+                        len(cores),
+                        seed=config.seed,
+                        address_offset=index * TENANT_ADDRESS_STRIDE,
+                    )
+                    self._add_core_node(core_id, node_id, workload, stream)
 
         # LLC slices / tiles with their directories.
         for node_id in system_map.llc_node_ids:
@@ -180,6 +228,57 @@ class Chip:
                 send=self._make_sender(node_id),
             )
             self.memory_controllers[node_id] = controller
+
+    def _add_core_node(self, core_id: int, node_id: int, workload, stream) -> None:
+        self.core_nodes[core_id] = CoreNode(
+            self.sim,
+            f"core{core_id}",
+            core_id=core_id,
+            node_id=node_id,
+            config=self.config,
+            workload=workload,
+            stream=stream,
+            send=self._make_sender(node_id),
+            home_node_for=self.system_map.home_node,
+        )
+
+    def _build_tenant_overlay(self) -> None:
+        """Per-tenant network attribution plus open-loop probe generators."""
+        workload_map = self.workload_map
+        if workload_map is None:
+            return
+        from repro.tenancy.arrivals import make_arrival
+        from repro.tenancy.matrices import MatrixContext, make_matrix
+        from repro.tenancy.traffic import TenantTraffic
+
+        system_map = self.system_map
+        labels = workload_map.tenant_labels()
+        tenant_active = self._tenant_active_cores()
+        tenant_of = {
+            system_map.core_node(core): labels[index]
+            for index, cores in enumerate(tenant_active)
+            for core in cores
+        }
+        self.network.set_tenants(tenant_of)
+
+        llc_nodes = tuple(system_map.llc_node_ids)
+        for index, tenant in enumerate(workload_map.tenants):
+            if tenant.rate <= 0.0 or not tenant_active[index]:
+                continue
+            context = MatrixContext(
+                destinations=llc_nodes,
+                tenant_index=index,
+                num_tenants=len(workload_map.tenants),
+            )
+            self.tenant_traffic[labels[index]] = TenantTraffic(
+                self.sim,
+                self.network,
+                labels[index],
+                sources=[system_map.core_node(core) for core in tenant_active[index]],
+                arrival=make_arrival(tenant.arrival, tenant.rate),
+                pick_destination=make_matrix(tenant.matrix, context),
+                seed=(self.config.seed * 1_000_003 + 7919 * (index + 1)) & 0xFFFFFFFF,
+            )
 
     def _register_endpoints(self) -> None:
         system_map = self.system_map
@@ -212,13 +311,17 @@ class Chip:
         """
         if not self.core_nodes:
             return
-        sample_node = next(iter(self.core_nodes.values()))
         block = self.config.caches.block_size
 
-        instr_base, instr_size = sample_node.core.stream.instruction_region
-        for addr in range(instr_base, instr_base + instr_size, block):
-            home = self.system_map.home_node(addr)
-            self.directories[home].warm_fill(addr)
+        # One footprint per tenant (homogeneous chips share a single
+        # region); sorted so the fill order is deterministic.
+        instruction_regions = sorted(
+            {node.core.stream.instruction_region for node in self.core_nodes.values()}
+        )
+        for instr_base, instr_size in instruction_regions:
+            for addr in range(instr_base, instr_base + instr_size, block):
+                home = self.system_map.home_node(addr)
+                self.directories[home].warm_fill(addr)
 
         for core_id, node in self.core_nodes.items():
             stream = node.core.stream
@@ -245,6 +348,8 @@ class Chip:
         self._started = True
         for offset, node in enumerate(self.core_nodes.values()):
             node.core.start(delay=offset % 4)
+        for generator in self.tenant_traffic.values():
+            generator.start()
 
     def run(self, cycles: int) -> None:
         """Advance the simulation by ``cycles`` cycles."""
@@ -260,6 +365,8 @@ class Chip:
             controller.stats.reset()
             controller.channel.requests = 0
             controller.channel.total_queue_cycles = 0.0
+        for generator in self.tenant_traffic.values():
+            generator.stats.reset()
         self.network.stats.reset()
         self.reset_network_activity()
 
@@ -320,8 +427,21 @@ class Chip:
 
         from repro.noc.message import MessageClass as MC
 
+        placement = ""
+        per_tenant_latency: Dict[str, Dict[str, float]] = {}
+        workload_label = self.workload.name
+        if self.workload_map is not None:
+            from repro.analysis.metrics import tail_summary
+
+            placement = self.workload_map.placement
+            workload_label = self.workload_map.describe()
+            per_tenant_latency = {
+                label: tail_summary(histogram)
+                for label, histogram in self.network.tenant_latency_histograms().items()
+            }
+
         return SimulationResults(
-            workload=self.workload.name,
+            workload=workload_label,
             topology=topology_key(self.config.noc.topology),
             num_cores=self.config.num_cores,
             active_cores=len(self.active_core_ids),
@@ -345,4 +465,6 @@ class Chip:
             ),
             bank_conflicts=int(bank_conflicts),
             network_activity=self.network.activity(),
+            placement=placement,
+            per_tenant_latency=per_tenant_latency,
         )

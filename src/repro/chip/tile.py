@@ -9,6 +9,7 @@ from repro.cache.directory import DirectoryController
 from repro.cache.memory_controller import MemoryController
 from repro.cpu.core_node import CoreNode
 from repro.noc.message import Message
+from repro.tenancy.traffic import TenantProbe
 
 #: Response types consumed by the requesting core (everything else belongs
 #: to the home directory).
@@ -56,6 +57,10 @@ class Tile:
                 self._require(self.core_node, "core", payload).handle_response(payload)
             else:
                 self._require(self.directory, "directory", payload).handle_response(payload)
+        elif isinstance(payload, TenantProbe):
+            # Open-loop tenant probes ride the fabric but never touch
+            # cache state; hand them back to the owning generator.
+            payload.sink(message)
         else:
             raise TypeError(f"tile {self.node_id}: unknown payload {type(payload).__name__}")
 

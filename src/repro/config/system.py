@@ -10,6 +10,7 @@ from repro.config.core import CoreConfig
 from repro.config.noc import NocConfig, Topology
 from repro.config.technology import TechnologyConfig
 from repro.config.workload import WorkloadConfig
+from repro.tenancy.placement import WorkloadMap
 
 
 #: Historical grid table, kept verbatim as exact overrides: these sizes
@@ -85,6 +86,12 @@ class SystemConfig:
     workload: Optional[WorkloadConfig] = None
     num_memory_controllers: int = 4
     seed: int = 42
+    #: Multi-tenant core placement; ``None`` (the default, and the
+    #: homogeneous case) is omitted from cache-key canonicalisation via
+    #: the metadata flag, so every pre-tenancy cache key is unchanged.
+    workload_map: Optional[WorkloadMap] = field(
+        default=None, metadata={"canonical_omit_none": True}
+    )
 
     def __post_init__(self) -> None:
         if self.num_cores < 1:
@@ -93,6 +100,8 @@ class SystemConfig:
             raise ValueError("num_memory_controllers must be >= 1")
         if self.noc.topology in (Topology.MESH, Topology.FLATTENED_BUTTERFLY, Topology.IDEAL):
             default_mesh_dimensions(self.num_cores)  # validates the grid exists
+        if self.workload_map is not None:
+            self.workload_map.validate_for(self.num_cores)
 
     # ------------------------------------------------------------------ #
     @property
@@ -131,3 +140,6 @@ class SystemConfig:
 
     def with_seed(self, seed: int) -> "SystemConfig":
         return replace(self, seed=seed)
+
+    def with_workload_map(self, workload_map: Optional[WorkloadMap]) -> "SystemConfig":
+        return replace(self, workload_map=workload_map)

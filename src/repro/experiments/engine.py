@@ -94,11 +94,22 @@ MODEL_VERSION = 2
 # Canonical serialisation
 # --------------------------------------------------------------------- #
 def _canonical(value):
-    """Reduce configs to JSON-stable primitives (enums by value, no tuples)."""
+    """Reduce configs to JSON-stable primitives (enums by value, no tuples).
+
+    Dataclass fields whose metadata carries ``canonical_omit_none`` are
+    skipped while they hold ``None``: fields added after results were
+    already cached (e.g. ``SystemConfig.workload_map``) use the flag so
+    their default keeps every pre-existing cache key byte-identical,
+    while any non-None value still hashes in.
+    """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {
             field.name: _canonical(getattr(value, field.name))
             for field in dataclasses.fields(value)
+            if not (
+                field.metadata.get("canonical_omit_none")
+                and getattr(value, field.name) is None
+            )
         }
     if isinstance(value, Enum):
         return value.value

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
 
 from repro.config.system import SystemConfig
 from repro.sim.component import Component
 from repro.sim.kernel import Simulator
+from repro.sim.stats import DEFAULT_RESERVOIR, Histogram
 from repro.noc.interface import NetworkInterface
 from repro.noc.message import Message, MessageClass, Packet
 from repro.noc.router import Router
@@ -48,6 +49,11 @@ class Network(Component):
             for cls in MessageClass
         }
         self.hop_histogram = stats.histogram("hops", keep_samples=False)
+        #: node -> tenant label; when set, every delivery is attributed to
+        #: a tenant (by source node, else destination) and its latency
+        #: recorded in a per-tenant reservoir histogram.
+        self._tenant_of: Optional[Dict[int, str]] = None
+        self._tenant_latency: Dict[str, Histogram] = {}
 
         for node_id in self.node_ids:
             self.interfaces[node_id] = self._create_interface(node_id)
@@ -69,6 +75,38 @@ class Network(Component):
         if node_id not in self.interfaces:
             raise KeyError(f"{self.name}: unknown node {node_id}")
         self._delivery_callbacks[node_id] = deliver
+
+    def set_tenants(
+        self, tenant_of: Mapping[int, str], reservoir: int = DEFAULT_RESERVOIR
+    ) -> None:
+        """Enable per-tenant delivery-latency attribution.
+
+        ``tenant_of`` maps node ids (typically the cores each tenant owns)
+        to tenant labels.  Deliveries are attributed source-first (a
+        response heading back to a core counts for that core's tenant via
+        its destination); unattributed traffic (e.g. LLC -> memory
+        controller) is not recorded.  Histograms are reservoir-bounded so
+        long runs cannot grow memory without bound.
+        """
+        self._tenant_of = dict(tenant_of)
+        tenants = self.stats.group("tenants")
+        self._tenant_latency = {}
+        for label in dict.fromkeys(self._tenant_of.values()):
+            self._tenant_latency[label] = tenants.histogram(
+                f"latency[{label}]", keep_samples=True, reservoir=reservoir
+            )
+
+    def tenant_latency_histograms(self) -> Dict[str, Histogram]:
+        """Per-tenant delivery-latency histograms (empty when untenanted)."""
+        return dict(self._tenant_latency)
+
+    def _record_tenant_latency(self, message: Message, latency: int) -> None:
+        tenant_of = self._tenant_of
+        label = tenant_of.get(message.src)
+        if label is None:
+            label = tenant_of.get(message.dst)
+        if label is not None:
+            self._tenant_latency[label].add(latency)
 
     # ------------------------------------------------------------------ #
     # Message transport
@@ -95,16 +133,22 @@ class Network(Component):
 
     def _deliver_local(self, message: Message) -> None:
         self.messages_delivered.add()
-        self.latency_by_class[message.msg_class].add(self.sim.cycle - message.created_cycle)
+        latency = self.sim.cycle - message.created_cycle
+        self.latency_by_class[message.msg_class].add(latency)
         self.hop_histogram.add(0)
+        if self._tenant_of is not None:
+            self._record_tenant_latency(message, latency)
         self._dispatch(message)
 
     def _on_delivery(self, packet: Packet) -> None:
         message = packet.message
         self.messages_delivered.add()
-        self.latency_by_class[message.msg_class].add(self.sim.cycle - message.created_cycle)
+        latency = self.sim.cycle - message.created_cycle
+        self.latency_by_class[message.msg_class].add(latency)
         self.hop_histogram.add(packet.hops)
         self.flit_hops.add(packet.num_flits * packet.hops)
+        if self._tenant_of is not None:
+            self._record_tenant_latency(message, latency)
         self._dispatch(message)
 
     def _dispatch(self, message: Message) -> None:

@@ -87,9 +87,26 @@ class ResultRecord:
     def matches(self, selection: Mapping) -> bool:
         return all(self.coords.get(key) == value for key, value in selection.items())
 
+    def full_result(self) -> Optional["SimulationResults"]:  # noqa: F821
+        """The complete :class:`SimulationResults` behind this record.
+
+        Eager records return the retained result (``None`` when the sweep
+        ran with ``keep_results=False``); store-backed records
+        (:meth:`ResultSet.from_store_table`) materialise their row on
+        demand.  Non-scalar fields — ``per_tenant_latency``,
+        ``network_activity`` — are only reachable this way.
+        """
+        if self.result is not None:
+            return self.result
+        if isinstance(self.metrics, TableMetrics):
+            return self.metrics.materialise()
+        return None
+
     def to_dict(self, include_result: bool = False) -> Dict[str, object]:
+        from repro.scenarios.spec import _json_value
+
         data = {
-            "coords": dict(self.coords),
+            "coords": {key: _json_value(value) for key, value in self.coords.items()},
             "metrics": dict(self.metrics),
             "point_hash": self.point_hash,
         }
@@ -99,13 +116,18 @@ class ResultRecord:
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "ResultRecord":
+        from repro.scenarios.spec import _freeze_value
+
         result = None
         if data.get("result") is not None:
             from repro.chip.chip import SimulationResults
 
             result = SimulationResults.from_dict(data["result"])
         return cls(
-            coords=dict(data["coords"]),
+            # _freeze_value revives workload maps (the __kind__ tag) and
+            # turns JSON lists back into the hashable tuples the merge /
+            # delta coordinate keys need.
+            coords={key: _freeze_value(value) for key, value in data["coords"].items()},
             metrics=dict(data["metrics"]),
             point_hash=str(data["point_hash"]),
             result=result,
@@ -138,6 +160,10 @@ class TableMetrics(Mapping):
 
     def __len__(self) -> int:
         return len(METRIC_NAMES)
+
+    def materialise(self) -> "SimulationResults":  # noqa: F821
+        """The row's full :class:`SimulationResults` (cached by the table)."""
+        return self._table.result(self._index)
 
     def __repr__(self) -> str:
         return f"TableMetrics(row {self._index})"

@@ -20,6 +20,18 @@ Recognised coordinate names (whether used as an axis or in ``fixed``):
     topology registry).
 ``num_cores`` / ``link_width_bits`` / ``seed``
     System parameters (defaults 64 / 128 / the settings' seed).
+``workload_map``
+    A :class:`~repro.tenancy.WorkloadMap` (or its ``to_dict()`` form —
+    the ``__kind__`` tag distinguishes it from zipped-axis mappings),
+    attached to the config verbatim.  When present, ``workload`` may be
+    omitted; it defaults to the map's first tenant.
+``placement`` (+ ``tenants``, ``arrival``, ``load``, ``matrix``)
+    Scalar tenancy coordinates: ``placement`` names a registered
+    placement, ``tenants`` is the tuple of tenant workload names, and
+    ``arrival``/``load``/``matrix`` shape every tenant's open-loop
+    traffic (defaults ``poisson``/``0.0``/``uniform``).  The point builds
+    the :class:`WorkloadMap` itself — this keeps co-location sweeps
+    pivotable by plain scalars.  Mutually exclusive with ``workload_map``.
 anything else
     Must be a :class:`~repro.config.noc.NocConfig` field; applied as a NoC
     override (this is how the ablations sweep ``llc_banks_per_tile``,
@@ -58,7 +70,19 @@ from typing import Dict, List, Mapping, Tuple
 
 #: Coordinate names consumed directly by the system builder; everything
 #: else must name a NocConfig field.
-_SYSTEM_COORDS = ("workload", "topology", "num_cores", "link_width_bits", "seed")
+_SYSTEM_COORDS = (
+    "workload",
+    "topology",
+    "num_cores",
+    "link_width_bits",
+    "seed",
+    "workload_map",
+    "placement",
+    "tenants",
+    "arrival",
+    "load",
+    "matrix",
+)
 
 _SPEC_SCHEMA = 1
 
@@ -105,8 +129,17 @@ class FrozenCoords(Mapping):
 
 
 def _freeze_value(value):
-    """Normalise one axis value to an immutable, hashable form."""
+    """Normalise one axis value to an immutable, hashable form.
+
+    Mappings normally become :class:`FrozenCoords` (zipped coordinates);
+    the ``__kind__`` tag written by ``WorkloadMap.to_dict()`` revives a
+    workload map instead, so map-valued axes survive JSON round-trips.
+    """
     if isinstance(value, Mapping):
+        if value.get("__kind__") == "workload_map":
+            from repro.tenancy.placement import WorkloadMap
+
+            return WorkloadMap.from_dict(value)
         return FrozenCoords(value)
     if isinstance(value, (list, tuple)):
         return tuple(_freeze_value(item) for item in value)
@@ -115,8 +148,10 @@ def _freeze_value(value):
 
 def _json_value(value):
     """Undo :func:`_freeze_value` for JSON serialisation."""
+    if getattr(value, "is_workload_map", False):
+        return value.to_dict()
     if isinstance(value, Mapping):
-        return dict(value)
+        return {key: _json_value(item) for key, item in value.items()}
     if isinstance(value, tuple):
         return [_json_value(item) for item in value]
     return value
@@ -281,12 +316,54 @@ def point_for_coords(coords: Mapping, settings) -> "ExperimentPoint":  # noqa: F
 
     c = dict(coords)
     workload_name = c.pop("workload", None)
-    if workload_name is None:
-        raise ValueError(f"point coordinates {dict(coords)!r} lack a 'workload'")
     topology_name = c.pop("topology", "mesh")
     num_cores = c.pop("num_cores", 64)
     link_width_bits = c.pop("link_width_bits", 128)
     seed = c.pop("seed", settings.seed)
+
+    # Tenancy coordinates: either a literal map or the scalar
+    # placement/tenants/arrival/load/matrix quintuple that builds one.
+    workload_map = c.pop("workload_map", None)
+    placement_name = c.pop("placement", None)
+    tenancy = {
+        key: c.pop(key) for key in ("tenants", "arrival", "load", "matrix") if key in c
+    }
+    if workload_map is not None and placement_name is not None:
+        raise ValueError(
+            "coordinates set both 'workload_map' and 'placement'; use one or the other"
+        )
+    if placement_name is not None:
+        tenants = tenancy.pop("tenants", None)
+        if not tenants:
+            raise ValueError(
+                "a 'placement' coordinate needs a 'tenants' coordinate "
+                "(tuple of workload names)"
+            )
+        if isinstance(tenants, str):
+            tenants = (tenants,)
+        from repro.tenancy.placement import build_placement
+
+        workload_map = build_placement(
+            str(placement_name),
+            num_cores=int(num_cores),
+            tenants=[str(name) for name in tenants],
+            arrival=str(tenancy.pop("arrival", "poisson")),
+            rate=float(tenancy.pop("load", 0.0)),
+            matrix=str(tenancy.pop("matrix", "uniform")),
+        )
+    elif tenancy:
+        raise ValueError(
+            f"coordinate(s) {sorted(tenancy)} require a 'placement' coordinate"
+        )
+    if isinstance(workload_map, Mapping):
+        from repro.tenancy.placement import WorkloadMap
+
+        workload_map = WorkloadMap.from_dict(workload_map)
+
+    if workload_name is None:
+        if workload_map is None:
+            raise ValueError(f"point coordinates {dict(coords)!r} lack a 'workload'")
+        workload_name = workload_map.tenants[0].workload
 
     noc_fields = {f.name for f in _dc.fields(NocConfig)}
     unknown = sorted(key for key in c if key not in noc_fields)
@@ -305,4 +382,6 @@ def point_for_coords(coords: Mapping, settings) -> "ExperimentPoint":  # noqa: F
     if c:
         config = config.with_noc(_dc.replace(config.noc, **c))
     config = config.with_workload(registry.workload(str(workload_name)))
+    if workload_map is not None:
+        config = config.with_workload_map(workload_map)
     return ExperimentPoint(config=config, settings=settings)

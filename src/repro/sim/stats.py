@@ -3,11 +3,19 @@
 from __future__ import annotations
 
 import math
+import random
+import zlib
 from typing import Dict, Iterable, List, Optional, Union
 
 
 class StatError(ValueError):
     """Raised when a statistic is queried or updated in an invalid way."""
+
+
+#: Default retained-sample cap for reservoir histograms.  A fixed module
+#: constant on purpose: making this environment-tunable would change
+#: results without changing cache keys.
+DEFAULT_RESERVOIR = 8192
 
 
 class Counter:
@@ -42,17 +50,45 @@ class Histogram:
 
     Sample retention can be disabled for very hot paths; mean and extrema
     are always available.
+
+    ``reservoir`` bounds retained-sample memory: once more than
+    ``reservoir`` values have been recorded, each further value replaces a
+    uniformly random retained one (Vitter's Algorithm R), so percentiles
+    stay meaningful on arbitrarily long runs at O(reservoir) memory.  The
+    replacement RNG is private and seeded from the histogram's name, so
+    the retained set depends only on the value sequence — never on other
+    RNG users or the simulation kernel.
     """
 
-    def __init__(self, name: str, description: str = "", keep_samples: bool = True) -> None:
+    def __init__(
+        self,
+        name: str,
+        description: str = "",
+        keep_samples: bool = True,
+        reservoir: Optional[int] = None,
+    ) -> None:
         self.name = name
         self.description = description
         self.keep_samples = keep_samples
+        if reservoir is not None:
+            if not keep_samples:
+                raise StatError(
+                    f"{name}: reservoir sampling retains samples, so it "
+                    f"cannot be combined with keep_samples=False"
+                )
+            if reservoir < 1:
+                raise ValueError(f"{name}: reservoir must be >= 1, got {reservoir}")
+        self.reservoir = reservoir
         self.count: int = 0
         self.total: float = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self._samples: List[float] = []
+        self._reservoir_rng = (
+            random.Random(zlib.crc32(name.encode("utf-8")))
+            if reservoir is not None
+            else None
+        )
 
     def add(self, value: Union[int, float]) -> None:
         value = float(value)
@@ -61,7 +97,13 @@ class Histogram:
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
         if self.keep_samples:
-            self._samples.append(value)
+            cap = self.reservoir
+            if cap is None or len(self._samples) < cap:
+                self._samples.append(value)
+            else:
+                slot = self._reservoir_rng.randrange(self.count)
+                if slot < cap:
+                    self._samples[slot] = value
 
     @property
     def mean(self) -> float:
@@ -94,12 +136,20 @@ class Histogram:
         frac = rank - low
         return ordered[low] * (1 - frac) + ordered[high] * frac
 
+    @property
+    def retained_samples(self) -> int:
+        """Number of samples currently held (<= reservoir when bounded)."""
+        return len(self._samples)
+
     def reset(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = None
         self.max = None
         self._samples.clear()
+        if self.reservoir is not None:
+            # Re-seed so a reset histogram replays identically.
+            self._reservoir_rng = random.Random(zlib.crc32(self.name.encode("utf-8")))
 
     def __repr__(self) -> str:
         return f"Histogram({self.name}, n={self.count}, mean={self.mean:.2f})"
@@ -121,10 +171,16 @@ class StatGroup:
             self._counters[name] = Counter(name, description)
         return self._counters[name]
 
-    def histogram(self, name: str, description: str = "", keep_samples: bool = True) -> Histogram:
+    def histogram(
+        self,
+        name: str,
+        description: str = "",
+        keep_samples: bool = True,
+        reservoir: Optional[int] = None,
+    ) -> Histogram:
         """Get or create a histogram."""
         if name not in self._histograms:
-            self._histograms[name] = Histogram(name, description, keep_samples)
+            self._histograms[name] = Histogram(name, description, keep_samples, reservoir)
         return self._histograms[name]
 
     def group(self, name: str) -> "StatGroup":

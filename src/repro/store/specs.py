@@ -2,7 +2,8 @@
 
 Maps the reportable figure names (the keys of
 :data:`repro.reporting.figures.REPORTERS`, minus the purely analytic
-``fig8``) plus ``scale_out`` to their ``*_spec()`` factories, so the farm
+``fig8``) plus the on-demand ``scale_out`` and ``colocation`` chapters to
+their ``*_spec()`` factories, so the farm
 (``python -m repro.store.farm --figure fig7``) and the query CLI
 (``python -m repro.store.query pivot fig7 ...``) can resolve a sweep by
 name.  ``power`` reuses the Figure-7 sweep — the power analysis
@@ -74,6 +75,12 @@ def _scale_out(settings):
     return scale_out_spec(settings=settings)
 
 
+def _colocation(settings):
+    from repro.experiments.colocation import colocation_spec
+
+    return colocation_spec(settings=settings)
+
+
 #: Figure name -> spec factory taking ``settings`` (None = honour the
 #: environment via each factory's ``RunSettings.from_env()`` default).
 SPEC_FACTORIES: Dict[str, Callable[[Optional[object]], SweepSpec]] = {
@@ -86,6 +93,7 @@ SPEC_FACTORIES: Dict[str, Callable[[Optional[object]], SweepSpec]] = {
     "ablation_arbitration": _ablation_arbitration,
     "ablation_scaling": _ablation_scaling,
     "scale_out": _scale_out,
+    "colocation": _colocation,
 }
 
 
@@ -110,13 +118,13 @@ def report_points(settings=None):
 
     The union of all registered specs' expansions (first occurrence wins),
     i.e. the full warm-store working set behind ``python -m
-    repro.reporting`` plus the scale-out chapter.  ``scale_out`` is
-    excluded by passing names to :func:`figure_spec` yourself; this helper
-    covers the committed-report set (every spec except ``scale_out``).
+    repro.reporting``.  ``scale_out`` and ``colocation`` are on-demand
+    chapters — fill them by passing their names to :func:`figure_spec`
+    yourself; this helper covers only the committed-report set.
     """
     seen = {}
     for name in spec_names():
-        if name == "scale_out":
+        if name in ("scale_out", "colocation"):
             continue
         for sweep_point in figure_spec(name, settings).expand():
             seen.setdefault(sweep_point.content_hash(), sweep_point)

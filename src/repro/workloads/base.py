@@ -67,23 +67,36 @@ class SyntheticWorkloadStream(WorkloadStream):
         core_id: int,
         num_cores: int,
         seed: int = 0,
+        address_offset: int = 0,
     ) -> None:
         if num_cores < 1:
             raise ValueError("num_cores must be >= 1")
         if not 0 <= core_id < num_cores:
             raise ValueError(f"core_id {core_id} out of range for {num_cores} cores")
+        if address_offset < 0:
+            raise ValueError(f"address_offset must be >= 0, got {address_offset}")
         self.config = config
         self.core_id = core_id
         self.num_cores = num_cores
         self.rng = random.Random((seed * 1_000_003 + core_id * 7919) & 0xFFFFFFFF)
 
+        # All three region bases shift together by ``address_offset``, so
+        # co-located tenants (repro.tenancy) live in disjoint address
+        # spaces instead of accidentally sharing instruction/shared lines.
+        # Offset 0 reproduces the historical layout bit-for-bit.
+        self._instruction_base = INSTRUCTION_BASE + address_offset
+        self._shared_base = SHARED_DATA_BASE + address_offset
         self._hot_instr_bytes = min(HOT_INSTRUCTION_BYTES, config.instruction_footprint_bytes)
         self._hot_data_bytes = HOT_DATA_BYTES
         self._dataset_per_core = max(
             config.dataset_bytes // num_cores, 16 * self._hot_data_bytes
         )
-        self._private_base = PRIVATE_DATA_BASE + core_id * self._dataset_per_core
-        self._pc = INSTRUCTION_BASE + self._random_aligned(config.instruction_footprint_bytes)
+        self._private_base = (
+            PRIVATE_DATA_BASE + address_offset + core_id * self._dataset_per_core
+        )
+        self._pc = self._instruction_base + self._random_aligned(
+            config.instruction_footprint_bytes
+        )
         self.blocks_generated = 0
 
     # ------------------------------------------------------------------ #
@@ -94,17 +107,18 @@ class SyntheticWorkloadStream(WorkloadStream):
 
     def _next_instruction_address(self, block_bytes: int) -> int:
         config = self.config
+        instruction_base = self._instruction_base
         address = self._pc
         if self.rng.random() < config.jump_probability:
             if self.rng.random() < config.hot_instruction_fraction:
-                target = INSTRUCTION_BASE + self._random_aligned(self._hot_instr_bytes)
+                target = instruction_base + self._random_aligned(self._hot_instr_bytes)
             else:
-                target = INSTRUCTION_BASE + self._random_aligned(
+                target = instruction_base + self._random_aligned(
                     config.instruction_footprint_bytes
                 )
             address = target
-        self._pc = INSTRUCTION_BASE + (
-            (address - INSTRUCTION_BASE + block_bytes) % config.instruction_footprint_bytes
+        self._pc = instruction_base + (
+            (address - instruction_base + block_bytes) % config.instruction_footprint_bytes
         )
         return address
 
@@ -113,7 +127,7 @@ class SyntheticWorkloadStream(WorkloadStream):
         roll = self.rng.random()
         is_write = self.rng.random() < config.write_fraction
         if roll < config.shared_fraction:
-            addr = SHARED_DATA_BASE + self.rng.randrange(config.shared_region_bytes)
+            addr = self._shared_base + self.rng.randrange(config.shared_region_bytes)
             return addr, is_write
         if roll < config.shared_fraction + config.data_reuse_fraction:
             addr = self._private_base + self.rng.randrange(self._hot_data_bytes)
@@ -154,12 +168,12 @@ class SyntheticWorkloadStream(WorkloadStream):
     @property
     def instruction_region(self) -> Tuple[int, int]:
         """(base, size) of the instruction footprint."""
-        return INSTRUCTION_BASE, self.config.instruction_footprint_bytes
+        return self._instruction_base, self.config.instruction_footprint_bytes
 
     @property
     def shared_region(self) -> Tuple[int, int]:
-        """(base, size) of the chip-wide shared data region."""
-        return SHARED_DATA_BASE, self.config.shared_region_bytes
+        """(base, size) of the tenant-wide shared data region."""
+        return self._shared_base, self.config.shared_region_bytes
 
     @property
     def private_region(self) -> Tuple[int, int]:

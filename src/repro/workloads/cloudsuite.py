@@ -10,10 +10,25 @@ from repro.workloads.base import SyntheticWorkloadStream
 
 
 def make_stream(
-    workload: WorkloadConfig, core_id: int, num_cores: int, seed: int = 0
+    workload: WorkloadConfig,
+    core_id: int,
+    num_cores: int,
+    seed: int = 0,
+    address_offset: int = 0,
 ) -> SyntheticWorkloadStream:
-    """Create the synthetic stream for one core of ``workload``."""
-    return SyntheticWorkloadStream(workload, core_id=core_id, num_cores=num_cores, seed=seed)
+    """Create the synthetic stream for one core of ``workload``.
+
+    ``address_offset`` shifts the whole synthetic address layout; the
+    tenancy layer gives each co-located tenant a disjoint offset
+    (:data:`repro.tenancy.TENANT_ADDRESS_STRIDE`).
+    """
+    return SyntheticWorkloadStream(
+        workload,
+        core_id=core_id,
+        num_cores=num_cores,
+        seed=seed,
+        address_offset=address_offset,
+    )
 
 
 def workload_streams(

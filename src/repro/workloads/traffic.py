@@ -30,22 +30,34 @@ class _TrafficGenerator(Component):
         pick_destination: Callable[[int, random.Random], int],
         request_fraction: float = 0.5,
         seed: int = 0,
+        register_endpoints: bool = True,
     ) -> None:
         super().__init__(sim, name)
         if not 0.0 <= injection_rate <= 1.0:
-            raise ValueError("injection_rate must be within [0, 1]")
+            raise ValueError(f"{name}: injection_rate must be within [0, 1], got {injection_rate}")
+        if not 0.0 <= request_fraction <= 1.0:
+            raise ValueError(
+                f"{name}: request_fraction must be within [0, 1], got {request_fraction}"
+            )
         self.network = network
         self.sources = list(sources)
+        duplicates = sorted({n for n in self.sources if self.sources.count(n) > 1})
+        if duplicates:
+            raise ValueError(
+                f"{name}: duplicate source node(s) {duplicates} would inject "
+                f"a silently doubled load; pass each source once"
+            )
         self.injection_rate = injection_rate
         self.request_fraction = request_fraction
         self._pick_destination = pick_destination
         self.rng = random.Random(seed)
         self.messages_generated = self.stats.counter("messages_generated")
         self._running = False
-        for node in self.sources:
-            network.register_endpoint(node, self._sink)
-        for node in set(self._all_destinations()) - set(self.sources):
-            network.register_endpoint(node, self._sink)
+        if register_endpoints:
+            for node in self.sources:
+                network.register_endpoint(node, self._sink)
+            for node in set(self._all_destinations()) - set(self.sources):
+                network.register_endpoint(node, self._sink)
 
     def _all_destinations(self) -> List[int]:
         return list(self.network.node_ids)
@@ -60,6 +72,16 @@ class _TrafficGenerator(Component):
     def stop(self) -> None:
         self._running = False
 
+    def _rate_this_cycle(self) -> float:
+        """Injection probability for the current cycle.
+
+        The base implementation returns the constant ``injection_rate``
+        without touching any RNG, so existing generators keep their exact
+        draw sequence.  Open-loop subclasses (:mod:`repro.tenancy.traffic`)
+        override this to modulate load over time.
+        """
+        return self.injection_rate
+
     def _tick(self) -> None:
         if not self._running:
             return
@@ -68,7 +90,7 @@ class _TrafficGenerator(Component):
         # deterministic contract (MODEL_VERSION policy) and is unchanged.
         rng = self.rng
         rand = rng.random
-        rate = self.injection_rate
+        rate = self._rate_this_cycle()
         pick = self._pick_destination
         req_fraction = self.request_fraction
         send = self.network.send
