@@ -3,7 +3,9 @@
 
 Runs :func:`repro.experiments.scale_out.scale_out_spec` for one workload at
 the ambient ``REPRO_EXPERIMENT_SCALE`` (CI uses 0.1, the repo's smoke
-pattern) across all three fabrics and all four core counts, then asserts:
+pattern) across all four fabrics at 64-512 cores (the 1024/2048-core
+chiplet points have their own gate, ``scripts/check_chiplet.py``), then
+asserts:
 
 * every point simulated and produced committed instructions — in
   particular the 256-core concentrated-mesh point, which exercises the
@@ -19,17 +21,20 @@ from __future__ import annotations
 
 import sys
 
+#: The smoke grid: every fabric, but only up to 512 cores — large enough
+#: to cover each fabric's large-grid construction path, small enough for
+#: a CI smoke job.
+CORE_COUNTS = (64, 128, 256, 512)
+FABRICS = ("mesh", "cmesh", "noc_out", "chiplet")
+
 
 def main() -> int:
-    from repro.experiments.scale_out import (
-        CORE_COUNTS,
-        FABRICS,
-        run_scale_out,
-        scale_out_report,
-    )
+    from repro.experiments.scale_out import run_scale_out, scale_out_report
 
     workload = "MapReduce-W"
-    results = run_scale_out(workload_names=(workload,))
+    results = run_scale_out(
+        workload_names=(workload,), core_counts=CORE_COUNTS, fabrics=FABRICS
+    )
     expected = len(FABRICS) * len(CORE_COUNTS)
     assert len(results) == expected, f"expected {expected} points, got {len(results)}"
 
@@ -45,8 +50,11 @@ def main() -> int:
         f"{int(cmesh_256[0].metrics['messages_delivered'])} messages"
     )
 
-    report = scale_out_report(workload_names=(workload,))
+    report = scale_out_report(
+        workload_names=(workload,), core_counts=CORE_COUNTS, fabrics=FABRICS
+    )
     assert "cmesh" in report.measured_table
+    assert "chiplet" in report.measured_table
     assert "512 cores" in report.measured_table
     print(report.measured_table)
     print(f"scale-out ordering check: {report.comparison.status}")

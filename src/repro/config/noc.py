@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Union
+from typing import Optional, Union
 
 
 class Topology(str, Enum):
@@ -96,6 +96,26 @@ class NocConfig:
     llc_tiles: int = 8
     llc_banks_per_tile: int = 2
 
+    # Chiplet / network-on-interposer fabric (the ``chiplet`` plugin).
+    # All four knobs default to ``None`` ("use the fabric's defaults") and
+    # are omitted from cache-key canonicalisation when unset, so every
+    # pre-chiplet cache key stays byte-identical — the same pattern as
+    # ``SystemConfig.workload_map``.  Divisibility against the core count
+    # is validated by the fabric (``repro.fabrics.chiplet.chiplet_params``),
+    # which needs the whole system config.
+    chiplet_count: Optional[int] = field(
+        default=None, metadata={"canonical_omit_none": True}
+    )
+    chiplet_concentration: Optional[int] = field(
+        default=None, metadata={"canonical_omit_none": True}
+    )
+    chiplet_latency_increase: Optional[int] = field(
+        default=None, metadata={"canonical_omit_none": True}
+    )
+    chiplet_io_die: Optional[bool] = field(
+        default=None, metadata={"canonical_omit_none": True}
+    )
+
     def __post_init__(self) -> None:
         if self.link_width_bits < 8:
             raise ValueError("link_width_bits must be at least 8")
@@ -107,6 +127,17 @@ class NocConfig:
             raise ValueError(
                 "tree_arbitration must be 'static_priority' or 'round_robin', "
                 f"got {self.tree_arbitration!r}"
+            )
+        if self.chiplet_count is not None and self.chiplet_count < 1:
+            raise ValueError(f"chiplet_count must be >= 1, got {self.chiplet_count}")
+        if self.chiplet_concentration is not None and self.chiplet_concentration < 1:
+            raise ValueError(
+                f"chiplet_concentration must be >= 1, got {self.chiplet_concentration}"
+            )
+        if self.chiplet_latency_increase is not None and self.chiplet_latency_increase < 0:
+            raise ValueError(
+                "chiplet_latency_increase must be >= 0, "
+                f"got {self.chiplet_latency_increase}"
             )
 
     @property

@@ -28,6 +28,8 @@ KNOWN_GRIDS = {
     128: (16, 8),
     256: (16, 16),
     512: (32, 16),
+    1024: (32, 32),
+    2048: (64, 32),
 }
 
 #: Widest columns:rows ratio a derived grid may have before it is rejected

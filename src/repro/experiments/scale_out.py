@@ -1,12 +1,13 @@
-"""Scale-out sweep: mesh vs. concentrated mesh vs. NOC-Out at 64-512 cores.
+"""Scale-out sweep: mesh vs. cmesh vs. NOC-Out vs. chiplet at 64-2048 cores.
 
 The paper evaluates 64-core chips and argues (Sections 2 and 7.1) that the
 fabric's cost grows with core count — meshes accumulate router traversals,
 while concentrated and tree-based organizations keep hop counts in check.
 This sweep extends that argument past the paper's evaluated sizes: the
-three scale-out-relevant fabrics at 64/128/256/512 cores, expressible only
-now that grids factorise for arbitrary core counts and fabrics dispatch
-through the plugin registry.
+four scale-out-relevant fabrics at 64-2048 cores.  The headline pivot is
+the flat mesh vs. the chiplet/NoI fabric at 1024 and 2048 cores, exactly
+where a monolithic mesh's diameter (and die) falls over and a two-level
+organisation becomes the realistic design point.
 
 There is no published chart to digitize (the paper stops at 64 cores with
 a 128-core discussion), so :data:`SCALE_OUT_BASELINE` encodes the *model's
@@ -28,33 +29,48 @@ from repro.reporting.compare import FigureReport, compare
 from repro.reporting.tables import ReportTable
 from repro.scenarios import ResultSet, SweepSpec, run_sweep
 
-#: Core counts swept (the paper's 64 plus the scale-out sizes).
-CORE_COUNTS = (64, 128, 256, 512)
+#: Core counts swept (the paper's 64 plus the scale-out sizes up to the
+#: chiplet-era 1024/2048 points).
+CORE_COUNTS = (64, 128, 256, 512, 1024, 2048)
 #: The fabrics compared: the baseline mesh, the concentrated mesh plugin,
-#: and the paper's NOC-Out (topology registry names).
-FABRICS = ("mesh", "cmesh", "noc_out")
+#: the paper's NOC-Out, and the chiplet/NoI plugin (registry names).
+FABRICS = ("mesh", "cmesh", "noc_out", "chiplet")
 #: Workloads swept by default (the Figure 1 pair: one latency-bound, one
 #: batch workload).
 WORKLOADS = tuple(presets.FIGURE1_WORKLOADS)
 
+#: ``(fabric, core count)`` points whose throughput-vs-mesh ratio the
+#: qualitative baseline tracks.
+RATIO_POINTS = (
+    ("cmesh", 512),
+    ("noc_out", 512),
+    ("chiplet", 1024),
+    ("chiplet", 2048),
+)
+
 #: Model-expectation baseline (no paper data exists past 64 cores): at 512
 #: cores NOC-Out should lead clearly and the concentrated mesh should sit
-#: between NOC-Out and the mesh.  Bands are wide — this guards the
+#: between NOC-Out and the mesh; the chiplet fabric pays its die-crossing
+#: and bisection cost at 1024 cores (slightly behind the flat mesh) and
+#: crosses over to parity-or-better by 2048 cores, where the monolithic
+#: mesh's diameter dominates.  Bands are wide — this guards the
 #: *ordering*, not a digitized value.
 SCALE_OUT_BASELINE = Baseline(
     figure="scale_out",
-    title="Scale-out: fabric comparison at 64-512 cores",
-    quantity="throughput relative to the mesh at 512 cores",
+    title="Scale-out: fabric comparison at 64-2048 cores",
+    quantity="throughput relative to the mesh at the same core count",
     unit="x",
     values={
         "cmesh vs mesh @ 512 cores": 1.5,
         "noc_out vs mesh @ 512 cores": 2.0,
+        "chiplet vs mesh @ 1024 cores": 0.85,
+        "chiplet vs mesh @ 2048 cores": 1.0,
     },
     rel_tolerance=0.45,
     source="qualitative (Sections 2, 7.1; extension beyond the paper)",
     notes=(
         "The paper charts nothing past 64 cores; these are the model's own "
-        "expected fabric orderings at 512 cores, tracked so the scale-out "
+        "expected fabric orderings at scale, tracked so the scale-out "
         "path cannot silently regress."
     ),
 )
@@ -127,9 +143,10 @@ def scale_out_report(
 ) -> FigureReport:
     """Report hook: measured pivot plus the qualitative ordering check.
 
-    The ordering ratios are compared only when 512 cores, the mesh, and the
-    fabric in question were all swept (averaged over the swept workloads);
-    a reduced sweep still renders its pivot and leaves the ratio unmeasured.
+    Each :data:`RATIO_POINTS` ratio is compared only when its core count,
+    the mesh, and the fabric in question were all swept (averaged over the
+    swept workloads); a reduced sweep still renders its pivot and leaves
+    the missing ratios unmeasured.
     """
     core_counts = tuple(core_counts)
     fabrics = tuple(fabrics)
@@ -137,22 +154,21 @@ def scale_out_report(
         workload_names, core_counts, fabrics, settings, jobs=jobs, executor=executor
     )
     measured: Dict[str, float] = {}
-    if 512 in core_counts and "mesh" in fabrics:
-        for fabric in ("cmesh", "noc_out"):
-            if fabric not in fabrics:
-                continue
-            ratios = []
-            for name in results.axis_values("workload"):
-                mesh = results.value(
-                    "throughput_ipc", workload=name, topology="mesh", num_cores=512
-                )
-                other = results.value(
-                    "throughput_ipc", workload=name, topology=fabric, num_cores=512
-                )
-                if mesh:
-                    ratios.append(other / mesh)
-            if ratios:
-                measured[f"{fabric} vs mesh @ 512 cores"] = sum(ratios) / len(ratios)
+    for fabric, count in RATIO_POINTS:
+        if fabric not in fabrics or count not in core_counts or "mesh" not in fabrics:
+            continue
+        ratios = []
+        for name in results.axis_values("workload"):
+            mesh = results.value(
+                "throughput_ipc", workload=name, topology="mesh", num_cores=count
+            )
+            other = results.value(
+                "throughput_ipc", workload=name, topology=fabric, num_cores=count
+            )
+            if mesh:
+                ratios.append(other / mesh)
+        if ratios:
+            measured[f"{fabric} vs mesh @ {count} cores"] = sum(ratios) / len(ratios)
     notes = "Extension beyond the paper: no published data past 64 cores."
     if core_counts != CORE_COUNTS or set(fabrics) != set(FABRICS):
         notes += (

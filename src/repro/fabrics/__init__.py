@@ -11,7 +11,10 @@ Each module here is one interconnect organization packaged as a
 * :mod:`~repro.fabrics.ideal` — the wire-delay-only upper bound (Figure 1);
 * :mod:`~repro.fabrics.cmesh` — a concentrated mesh (4 cores/router), the
   scale-out design point Section 2 motivates, and the template for adding
-  your own fabric in one self-contained module.
+  your own fabric in one self-contained module;
+* :mod:`~repro.fabrics.chiplet` — a hierarchical chiplet fabric: per-chiplet
+  NoC meshes bridged by a network-on-interposer with an optional central IO
+  die, the 1024-2048-core scale-out design point.
 
 Importing this package registers all of them;
 :func:`repro.scenarios.registry.ensure_seeded` does so on first registry
@@ -27,6 +30,7 @@ from repro.fabrics import flattened_butterfly as _flattened_butterfly  # noqa: F
 from repro.fabrics import nocout as _nocout  # noqa: F401,E402
 from repro.fabrics import ideal as _ideal  # noqa: F401,E402
 from repro.fabrics import cmesh as _cmesh  # noqa: F401,E402
+from repro.fabrics import chiplet as _chiplet  # noqa: F401,E402
 
 from repro.fabrics.cmesh import (  # noqa: E402
     ConcentratedMeshFabric,
@@ -34,12 +38,28 @@ from repro.fabrics.cmesh import (  # noqa: E402
     cmesh_system,
     describe_cmesh,
 )
+from repro.fabrics.chiplet import (  # noqa: E402
+    ChipletFabric,
+    ChipletNetwork,
+    ChipletParams,
+    ChipletSystemMap,
+    chiplet_params,
+    chiplet_system,
+    describe_chiplet,
+)
 
 __all__ = [
+    "ChipletFabric",
+    "ChipletNetwork",
+    "ChipletParams",
+    "ChipletSystemMap",
     "ConcentratedMeshFabric",
     "ConcentratedSystemMap",
     "FabricPlugin",
     "SystemFactoryFabric",
+    "chiplet_params",
+    "chiplet_system",
     "cmesh_system",
+    "describe_chiplet",
     "describe_cmesh",
 ]

@@ -287,11 +287,12 @@ class TestScaleOutSweep:
 
         spec = scale_out_spec(settings=TINY_SETTINGS)
         points = spec.expand()
-        assert len(points) == 2 * 3 * 4  # workloads x fabrics x core counts
+        assert len(points) == 2 * 4 * 6  # workloads x fabrics x core counts
         seen = {
             (p.coords["topology"], p.coords["num_cores"]) for p in points
         }
         assert ("cmesh", 512) in seen and ("noc_out", 256) in seen
+        assert ("chiplet", 1024) in seen and ("chiplet", 2048) in seen
 
     def test_runs_and_pivots(self, tmp_path, monkeypatch):
         from repro.experiments.scale_out import (
@@ -309,7 +310,7 @@ class TestScaleOutSweep:
             jobs=1,
         )
         pivot = scale_out_pivot(results)
-        assert set(pivot["MapReduce-W"]) == {"mesh", "cmesh", "noc_out"}
+        assert set(pivot["MapReduce-W"]) == {"mesh", "cmesh", "noc_out", "chiplet"}
         for by_count in pivot["MapReduce-W"].values():
             assert all(value > 0 for value in by_count.values())
         rendered = render_scale_out(results).render()

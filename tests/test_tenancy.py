@@ -383,10 +383,28 @@ class TestConfigIntegration:
 
         monkeypatch.delenv("REPRO_EXPERIMENT_SCALE", raising=False)
         golden = json.loads(GOLDEN_HASHES.read_text())
-        assert len(golden) == 9 and sum(len(v) for v in golden.values()) == 122
+        assert len(golden) == 9 and sum(len(v) for v in golden.values()) == 146
         for name, hashes in golden.items():
             current = [p.content_hash() for p in figure_spec(name).expand()]
             assert current == hashes, f"cache keys changed for spec {name!r}"
+
+    def test_pre_chiplet_scale_out_hashes_survive(self, monkeypatch):
+        """The pre-chiplet scale-out points keep their exact cache keys.
+
+        PR 9 widened the scale-out grid (chiplet fabric, 1024/2048 cores);
+        the original 24-point sub-sweep must still hash to the same keys it
+        always had, all of which live inside the extended golden list.
+        """
+        from repro.experiments.scale_out import scale_out_spec
+
+        monkeypatch.delenv("REPRO_EXPERIMENT_SCALE", raising=False)
+        golden = set(json.loads(GOLDEN_HASHES.read_text())["scale_out"])
+        legacy = scale_out_spec(
+            core_counts=(64, 128, 256, 512), fabrics=("mesh", "cmesh", "noc_out")
+        )
+        hashes = [p.content_hash() for p in legacy.expand()]
+        assert len(hashes) == 24
+        assert set(hashes) <= golden
 
 
 # ----------------------------------------------------------------------- #
