@@ -30,7 +30,9 @@ def run_once(benchmark, function, *args, **kwargs):
 
 #: All rendered tables are also appended here so results survive pytest's
 #: output capturing; the file is truncated at the start of each session.
-RESULTS_FILE = Path(__file__).resolve().parent.parent / "benchmark_results.txt"
+#: Lives under ``reports/`` (gitignored) with the other generated output —
+#: never at the repo root, where it once ended up committed by accident.
+RESULTS_FILE = Path(__file__).resolve().parent.parent / "reports" / "benchmark_results.txt"
 _results_initialised = False
 
 
@@ -39,6 +41,7 @@ def emit(title: str, text: str) -> None:
     global _results_initialised
     block = f"\n==== {title} ====\n{text}\n"
     print(block)
+    RESULTS_FILE.parent.mkdir(parents=True, exist_ok=True)
     mode = "a" if _results_initialised else "w"
     with open(RESULTS_FILE, mode) as handle:
         handle.write(block)

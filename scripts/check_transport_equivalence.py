@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""CI check: the vector and scalar transports are bit-identical.
+
+Runs three scenarios once under each transport (``REPRO_TRANSPORT`` unset
+= the scalar reference, then ``vector`` = the batched SoA engine from
+``repro.noc.vector``) and asserts the runs are indistinguishable:
+
+* the seeded congested 8x8 mesh (the ``congested_mesh`` scenario shared
+  with ``scripts/check_kernel_equivalence.py``), where credit blocking,
+  busy-port wakes and multi-candidate arbitration all exercise heavily;
+* a 1024-core chiplet network under uniform traffic, covering the
+  two-level NoI fabric (boundary routers, interposer hops, IO die);
+* a tenanted open-loop chip (split placement, bursty arrivals), covering
+  the full chip stack — coherence traffic, tenant overlays and the
+  per-tenant tail accounting — end to end.
+
+Compared per scenario: ``events_processed`` (the vector engine must not
+add, drop or move kernel events) and the full stats trees.  Any
+divergence means the transports computed different forwarding decisions —
+which per the ``MODEL_VERSION`` policy in ``docs/experiments.md`` must be
+traced and version-bumped, never shipped silently.  The vector transport
+ships with NO bump precisely because this check holds.
+
+Exits non-zero with a diff summary on any mismatch; exits 0 with a note
+when numpy is unavailable (the vector transport then falls back to scalar
+and there is nothing to compare).
+
+Usage::
+
+    python scripts/check_transport_equivalence.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.sim.soa import HAVE_NUMPY  # noqa: E402
+from repro.noc.vector import TRANSPORT_ENV_VAR  # noqa: E402
+
+
+def run_congested_mesh() -> dict:
+    import check_kernel_equivalence as cke
+    from repro.sim.kernel import Simulator
+
+    return cke.run_scenario(Simulator)
+
+
+def run_chiplet_1024() -> dict:
+    from repro.fabrics import ChipletNetwork, ChipletSystemMap, chiplet_system
+    from repro.sim.kernel import Simulator
+    from repro.workloads.traffic import UniformRandomTrafficGenerator
+
+    sim = Simulator(seed=3)
+    config = chiplet_system(num_cores=1024)
+    network = ChipletNetwork(sim, config, ChipletSystemMap(config))
+    generator = UniformRandomTrafficGenerator(
+        sim, network, list(range(1024)), 0.005, seed=7
+    )
+    generator.start()
+    sim.run(1_500)
+    return {
+        "events_processed": sim.events_processed,
+        "network_stats": network.stats.to_dict(),
+        "generator_stats": generator.stats.to_dict(),
+    }
+
+
+def run_tenanted_chip() -> dict:
+    from repro.chip.chip import Chip
+    from repro.config.noc import NocConfig, Topology
+    from repro.config.system import SystemConfig
+    from repro.tenancy import build_placement
+
+    wmap = build_placement(
+        "split_half",
+        16,
+        ["Data Serving", "MapReduce-C"],
+        arrival="bursty",
+        rate=0.08,
+    )
+    config = SystemConfig(
+        num_cores=16, noc=NocConfig(topology=Topology.MESH), seed=3
+    ).with_workload_map(wmap)
+    results = Chip(config).run_experiment(
+        warmup_references=300, detailed_warmup_cycles=200, measure_cycles=600
+    )
+    return {"results": results.to_dict()}
+
+
+SCENARIOS = (
+    ("congested 8x8 mesh", run_congested_mesh),
+    ("1024-core chiplet", run_chiplet_1024),
+    ("tenanted open-loop chip", run_tenanted_chip),
+)
+
+
+def main() -> int:
+    if not HAVE_NUMPY:
+        print(
+            "transport equivalence SKIPPED: numpy unavailable, "
+            "REPRO_TRANSPORT=vector falls back to scalar"
+        )
+        return 0
+
+    failures = 0
+    for name, scenario in SCENARIOS:
+        os.environ.pop(TRANSPORT_ENV_VAR, None)
+        scalar = json.dumps(scenario(), sort_keys=True, default=str)
+        os.environ[TRANSPORT_ENV_VAR] = "vector"
+        vector = json.dumps(scenario(), sort_keys=True, default=str)
+        os.environ.pop(TRANSPORT_ENV_VAR, None)
+        if scalar == vector:
+            print(f"transport equivalence OK on {name}: statistics identical")
+        else:
+            failures += 1
+            print(f"transport equivalence FAILED on {name}:")
+            a, b = json.loads(scalar), json.loads(vector)
+            for path in _diff_paths(a, b):
+                print(path)
+    if failures:
+        print(
+            "\nThe vector transport diverged from the scalar reference; per "
+            "docs/experiments.md this must be traced (and MODEL_VERSION "
+            "bumped if the new behaviour is intended)."
+        )
+        return 1
+    return 0
+
+
+def _diff_paths(a, b, prefix: str = "", limit: int = 20) -> list:
+    """First ``limit`` dotted paths where two nested structures differ."""
+    mismatches: list = []
+
+    def walk(x, y, path):
+        if len(mismatches) >= limit:
+            return
+        if isinstance(x, dict) and isinstance(y, dict):
+            for key in sorted(set(x) | set(y)):
+                walk(x.get(key), y.get(key), f"{path}.{key}" if path else str(key))
+        elif x != y:
+            mismatches.append(f"  {path}: scalar={x!r} vector={y!r}")
+
+    walk(a, b, prefix)
+    return mismatches
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,6 +39,14 @@ Environment variables
     Consumed by :meth:`RunSettings.from_env` (see
     :mod:`repro.experiments.harness`); scaled settings hash differently, so
     cached results at different scales never collide.
+``REPRO_PROFILE``
+    Set to ``1`` to run every simulated point under :mod:`cProfile`.  Each
+    point writes ``<hash>.pstats`` (raw, for ``snakeviz``/``pstats``) and
+    ``<hash>.profile.txt`` (top-20 functions by cumulative time) into the
+    cache directory, next to the point's cache entry — cache *hits* are
+    never profiled, so delete the entry (or disable the cache) to profile
+    an already-cached point.  See "Profiling a sweep" in
+    ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -68,6 +76,10 @@ CACHE_ENV_VAR = "REPRO_CACHE"
 CACHE_MAX_MB_ENV_VAR = "REPRO_CACHE_MAX_MB"
 #: Result-store backend environment variable (``json`` or ``columnar``).
 STORE_ENV_VAR = "REPRO_STORE"
+#: Per-point cProfile switch; profiles land next to the cache entries.
+PROFILE_ENV_VAR = "REPRO_PROFILE"
+#: How many rows of the cumulative-time table ``*.profile.txt`` keeps.
+PROFILE_TOP_N = 20
 
 #: Bump whenever the hash payload or the cache file layout changes; old
 #: entries then read as misses instead of deserialisation errors.
@@ -160,14 +172,63 @@ class ExperimentPoint:
         )
 
 
+def profiling_enabled() -> bool:
+    return os.environ.get(PROFILE_ENV_VAR, "").strip().lower() not in (
+        "",
+        "0",
+        "off",
+        "false",
+        "no",
+    )
+
+
 def execute_point(point: ExperimentPoint) -> SimulationResults:
-    """Run one point's simulation (also the process-pool worker function)."""
+    """Run one point's simulation (also the process-pool worker function).
+
+    Under ``REPRO_PROFILE=1`` the run executes inside a :mod:`cProfile`
+    profiler and drops ``<hash>.pstats`` plus a rendered top-N table
+    (``<hash>.profile.txt``) into the cache directory, keyed like the
+    point's cache entry.  Profiling happens here — in the worker, around
+    exactly one simulation — so a parallel sweep yields one clean profile
+    per point instead of one blended profile per process.
+    """
+    if profiling_enabled():
+        return _execute_point_profiled(point)
     chip = Chip(point.config)
     return chip.run_experiment(
         warmup_references=point.settings.warmup_references,
         detailed_warmup_cycles=point.settings.detailed_warmup_cycles,
         measure_cycles=point.settings.measure_cycles,
     )
+
+
+def _execute_point_profiled(point: ExperimentPoint) -> SimulationResults:
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        chip = Chip(point.config)
+        result = chip.run_experiment(
+            warmup_references=point.settings.warmup_references,
+            detailed_warmup_cycles=point.settings.detailed_warmup_cycles,
+            measure_cycles=point.settings.measure_cycles,
+        )
+    finally:
+        profiler.disable()
+
+    root = default_cache_root()
+    root.mkdir(parents=True, exist_ok=True)
+    stem = point.content_hash()
+    profiler.dump_stats(root / f"{stem}.pstats")
+    table = io.StringIO()
+    stats = pstats.Stats(profiler, stream=table).sort_stats("cumulative")
+    table.write(f"# {point.describe()}\n# point hash: {stem}\n")
+    stats.print_stats(PROFILE_TOP_N)
+    (root / f"{stem}.profile.txt").write_text(table.getvalue())
+    return result
 
 
 # --------------------------------------------------------------------- #

@@ -1,0 +1,768 @@
+"""Vectorized cycle-batched mesh transport (``REPRO_TRANSPORT=vector``).
+
+The scalar transport executes one ``Router._tick`` per woken router per
+cycle, and each tick re-examines every occupied input VC in python.  This
+module batches that work: a :class:`VectorTransportEngine` mirrors every
+router's per-VC switching state in preallocated numpy arrays
+(:class:`repro.sim.soa.TransportArrays`) and, once per drained cycle (via
+``Simulator.register_cycle_hook``), classifies *all* woken routers' heads —
+route, output-port busy test, downstream admission test — in a handful of
+vectorized passes.  Each router's tick then consumes its precomputed plan
+instead of rescanning its VCs.
+
+Plans are slices, not objects: the hook leaves the cycle's candidate
+verdicts in three flat parallel lists (``_entry_gids`` / ``_entry_over`` /
+``_entry_out``, in global scan order) and scatters each woken router's
+``(lo, hi)`` range, aggregated busy-expiry minimum, and a cycle stamp into
+per-rid plan *lists* — plain python lists, because each slot is read once
+by scalar tick code where list indexing is ~10x cheaper than numpy scalar
+extraction.  Because state gids are assigned contiguously per router, the
+ranges fall out of two ``searchsorted`` calls.  A tick checks
+``plan_stamp[rid]`` against the current cycle; three tick shapes consume
+without any scan:
+
+* **all-parked** (empty range): nothing can move; sleep until the minimum
+  busy expiry, exactly as the scalar scan would conclude.
+* **lone candidate**: uncontended arbitration and forward.
+* **arrival-only** (empty range plus late list): only VCs that went active
+  or unblocked mid-cycle can move; scan just those, scalar-style.
+
+The third shape exists because both packet-delivery producers
+(``_forward`` and the injection tick of :class:`VectorNetworkInterface`)
+pre-announce the delivery cycle to the engine, so a router woken solely by
+an arrival still has a (stamped, empty) plan covering its parked VCs.
+
+Bit-identity contract
+---------------------
+``REPRO_TRANSPORT=vector`` must produce bit-identical event orders and
+stats trees to the scalar path (no ``MODEL_VERSION`` bump; enforced by
+``scripts/check_transport_equivalence.py`` in CI).  The design guarantees
+it by construction:
+
+* **Events stay put.**  The engine never adds, removes, or moves kernel
+  events; it only changes how a tick's *body* computes.  Every wake a
+  router schedules is the one the scalar path would schedule.
+* **The fallback is the reference.**  A tick with no valid plan — an
+  unpredicted mid-cycle wake, a re-tick after the plan was consumed, a
+  sparse cycle the hook declined to plan, or a plan complicated by both
+  entries and late events — simply runs the inherited scalar
+  ``Router._tick`` and re-syncs the mirrors.  Any situation the batch
+  cannot prove safe (or profit from) degrades to scalar, never to
+  "almost right".
+* **Hook-time verdicts stay valid until the tick.**  Between the batch
+  (start of cycle) and a router's tick, its input heads cannot change
+  (only its own forwards pop them), its output ``busy_until`` cannot
+  change (only its own forwards set them), and each downstream VC has
+  exactly one upstream feeder (point-to-point links) so tracked
+  reservations cannot *grow*.  Reservations can shrink (a downstream pop),
+  which can only turn a "would block" verdict into "may forward" — so
+  block verdicts are re-checked live at consume time, and the two
+  mid-cycle events that add movable heads (a VC activation, a credit
+  return) join the plan's *late list*, evaluated scalar-style in gid
+  (= scan) order at consume.
+
+Selection mirrors the kernel idiom (``REPRO_KERNEL``): the mesh-family
+network builders call :func:`resolve_transport` and wire the engine when it
+returns ``"vector"``; missing numpy or a fabric without vector support
+falls back to scalar with a one-line warning.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from bisect import insort
+from typing import Dict, List, Optional
+
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.soa import FAR_FUTURE, HAVE_NUMPY, TransportArrays, np
+from repro.noc.interface import NetworkInterface
+from repro.noc.router import Router, _VcState
+
+_NO_ARGS: tuple = ()
+
+#: Below this many woken routers the hook skips planning for the cycle
+#: (ticks fall back to the reference scalar pass): the fixed cost of the
+#: vectorized passes outruns the per-tick savings on near-idle cycles.
+PLAN_MIN_WOKEN = 4
+
+#: Canonical environment variable selecting the transport implementation.
+TRANSPORT_ENV_VAR = "REPRO_TRANSPORT"
+
+
+def transport_mode() -> str:
+    """The transport requested by ``REPRO_TRANSPORT`` (default scalar).
+
+    Raises ``ValueError`` on unknown values, mirroring ``REPRO_KERNEL``'s
+    validation; availability (numpy, fabric support) is resolved separately
+    by :func:`resolve_transport`.
+    """
+    requested = os.environ.get(TRANSPORT_ENV_VAR, "").strip().lower()
+    if requested in ("", "scalar"):
+        return "scalar"
+    if requested == "vector":
+        return "vector"
+    raise ValueError(
+        f"{TRANSPORT_ENV_VAR}={requested!r} is not a known transport "
+        "(expected 'scalar' or 'vector')"
+    )
+
+
+def resolve_transport() -> str:
+    """Transport a mesh-family network should actually build.
+
+    ``"vector"`` only when requested *and* numpy is importable; a vector
+    request without numpy warns once and falls back to scalar, keeping
+    numpy an optional extra.
+    """
+    mode = transport_mode()
+    if mode == "vector" and not HAVE_NUMPY:
+        warnings.warn(
+            f"{TRANSPORT_ENV_VAR}=vector requires numpy; "
+            "falling back to the scalar transport",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return "scalar"
+    return mode
+
+
+class _VectorVcState(_VcState):
+    """Per-VC state that write-throughs credit unblocks to the SoA mirror."""
+
+    __slots__ = ("gid",)
+
+    def _credit_return(self) -> None:
+        self.blocked = False
+        router = self._router
+        engine = router._engine
+        engine.blocked[self.gid] = False
+        # A credit returning mid-cycle upgrades this head's hook-time
+        # "blocked" verdict, so join the plan's late list for a fresh
+        # scalar-style eval at consume time.  The plan's aggregated
+        # busy-expiry minimum stays exact: the blocked head's hook-time
+        # contribution was its own output port's ``busy_until``, which is
+        # precisely what the fresh eval contributes again if that port is
+        # still serializing (a min is idempotent), and was filtered out at
+        # the hook if it wasn't.
+        rid = router._rid
+        if engine._plan_stamp[rid] == router.sim.cycle:
+            late = engine._late
+            lst = late.get(rid)
+            if lst is None:
+                late[rid] = [self.gid]
+            else:
+                lst.append(self.gid)
+        if router._next_wake != router.sim.cycle:
+            router.wake(0)
+
+
+class VectorRouter(Router):
+    """Scalar-compatible router facade over :class:`VectorTransportEngine`.
+
+    Identical construction API and stats/activity surface as
+    :class:`Router`; the overrides only (a) write state transitions through
+    to the engine's arrays and (b) consume the engine's per-cycle plan in
+    ``_tick`` when one is available, running the inherited scalar tick
+    otherwise.
+    """
+
+    def __init__(self, sim: Simulator, name: str, **kwargs) -> None:
+        super().__init__(sim, name, **kwargs)
+        self._engine: Optional[VectorTransportEngine] = None
+        self._rid = -1
+        self._soa_next_wake = None  # bound to arrays.next_wake at finalize
+
+    # -- write-through overrides --------------------------------------- #
+    def wake(self, delay: int = 0) -> None:
+        # Component.wake with one extra store: the engine's next_wake
+        # mirror, which the batch compares against the current cycle.
+        if delay < 0:
+            raise SimulationError(f"cannot wake with negative delay {delay}")
+        sim = self.sim
+        now = sim.cycle
+        target = now + delay
+        pending = self._next_wake
+        if now <= pending <= target:
+            return
+        self._next_wake = target
+        self._soa_next_wake[self._rid] = target
+        if target < sim._win_end:
+            sim._buckets[target & sim._mask].append((self._run_tick, _NO_ARGS))
+            sim._bucket_count += 1
+        else:
+            sim.schedule_at(self._run_tick, target)
+
+    def receive_packet(self, packet, in_port: int, vc_index: int) -> None:
+        # Router.receive_packet with eager states (finalize created every
+        # _VcState up front) plus activation write-through: a VC going
+        # active after the cycle's batch ran joins the plan's late list and
+        # is classified scalar-style at consume time, in scan order.  (The
+        # route_valid mirror needs no write here: the pop that drained the
+        # VC already cleared it, and it starts cleared.)
+        buffer = self.input_ports[in_port].vcs[vc_index]
+        buffer.push(packet)
+        self.buffer_flit_writes += packet.num_flits
+        state = self._vc_state_rows[in_port][vc_index]
+        if not state.active:
+            state.active = True
+            insort(self._active_vcs, state)
+            engine = self._engine
+            gid = state.gid
+            engine.active[gid] = True
+            rid = self._rid
+            if engine._plan_stamp[rid] == self.sim.cycle:
+                late = engine._late
+                lst = late.get(rid)
+                if lst is None:
+                    late[rid] = [gid]
+                else:
+                    lst.append(gid)
+        if self._next_wake != self.sim.cycle:
+            self.wake(0)
+
+    def _forward(self, winner: _VectorVcState, out_port, now: int) -> None:
+        # The pop inside Router._forward clears head_route, so grab the
+        # downstream VC first; afterwards mirror the reservation, the
+        # output port's busy window, and a drained VC's deactivation.
+        downstream_vc = winner.buffer.head_route[4]
+        Router._forward(self, winner, out_port, now)
+        engine = self._engine
+        engine.vc_reserved[downstream_vc._soa_gid] = downstream_vc._reserved_flits
+        engine.port_busy[out_port._soa_gid] = out_port.busy_until
+        if not winner.active:
+            engine.active[winner.gid] = False
+        # Pre-announce the delivery so the downstream router's arrival
+        # wake finds a stamped plan covering its parked VCs.
+        rid_d = out_port._soa_sink_rid
+        if rid_d >= 0:
+            arrivals = engine._arrivals
+            cyc = now + self.pipeline_latency + out_port.link_latency
+            lst = arrivals.get(cyc)
+            if lst is None:
+                arrivals[cyc] = [rid_d]
+            else:
+                lst.append(rid_d)
+
+    # -- plan consumption ----------------------------------------------- #
+    def _tick(self) -> None:
+        engine = self._engine
+        now = self.sim.cycle
+        rid = self._rid
+        plan_stamp = engine._plan_stamp
+        if plan_stamp[rid] == now:
+            plan_stamp[rid] = -1
+            late = engine._late.pop(rid, None) if engine._late else None
+            lo = engine._plan_lo[rid]
+            hi = engine._plan_hi[rid]
+            if late is None:
+                span = hi - lo
+                if span == 0:
+                    # Every head is parked (credit-blocked or behind a
+                    # serializing output): sleep until the earliest busy
+                    # expiry, exactly the scalar scan's outcome.
+                    min_busy = engine._plan_min[rid]
+                    if min_busy > now:
+                        self.wake(min_busy - now)
+                    return
+                if span == 1 and not engine._entry_over[lo]:
+                    # Lone candidate: uncontended arbitration, forward,
+                    # re-wake — the dominant congested-tick shape.
+                    state = engine.states[engine._entry_gids[lo]]
+                    state.packet = state.vc._queue[0]
+                    out_index = engine._entry_out[lo]
+                    self._arbiters[out_index]._last_winner = state.key
+                    self._forward(state, self.output_ports[out_index], now)
+                    self.wake(1)
+                    return
+                self._consume(lo, hi, engine._plan_min[rid], now)
+                return
+            if lo == hi:
+                self._consume_late(late, engine._plan_min[rid], now)
+                return
+            # Entries and late events in one tick is rare enough that the
+            # reference pass beats merging them; fall through.
+        # No plan: run the reference scalar pass, then re-sync the blocked
+        # mirrors it may have set without write-through.
+        Router._tick(self)
+        blocked = engine.blocked
+        blocked_port = engine.blocked_port
+        for state in self._active_vcs:
+            if state.blocked:
+                gid = state.gid
+                blocked[gid] = True
+                blocked_port[gid] = state.blocked_port._soa_gid
+
+    def _consume(self, lo: int, hi: int, min_busy: int, now: int) -> None:
+        """Replay one arbitration round from the batch's verdicts.
+
+        The plan is the ``[lo, hi)`` slice of the engine's parallel entry
+        lists: per-state verdicts in scan (gid) order for heads that were
+        neither skipped-blocked nor output-busy, plus the aggregated
+        busy-expiry minimum.  The walk reproduces ``Router._tick``'s lazy
+        candidate grouping, listener registrations, arbitration, forwards
+        and wake schedule exactly — see the module docstring for why each
+        verdict is still valid here.
+        """
+        engine = self._engine
+        states = engine.states
+        gids = engine._entry_gids
+        overs = engine._entry_over
+        outs = engine._entry_out
+        next_busy_free = min_busy
+        first_out = -1
+        first_cands = None
+        cands_by_out = None
+        for i in range(lo, hi):
+            gid = gids[i]
+            state = states[gid]
+            if overs[i]:
+                # Hook-time admission failure.  Reservations can only have
+                # shrunk since (single upstream feeder, and that is us), so
+                # re-test live before committing to block.
+                cached = state.vc.head_route
+                packet = cached[0]
+                downstream_vc = cached[4]
+                reserved = downstream_vc._reserved_flits
+                if (
+                    reserved + packet.num_flits > downstream_vc.capacity_flits
+                    and reserved
+                ):
+                    state.blocked = True
+                    state.blocked_port = cached[2]
+                    downstream_vc.wait_for_space(state.on_credit)
+                    engine.blocked[gid] = True
+                    engine.blocked_port[gid] = cached[2]._soa_gid
+                    continue
+                state.packet = packet
+            else:
+                state.packet = state.vc._queue[0]
+            out_index = outs[i]
+            if cands_by_out is not None:
+                candidates = cands_by_out.get(out_index)
+                if candidates is None:
+                    cands_by_out[out_index] = [state]
+                else:
+                    candidates.append(state)
+            elif first_out < 0:
+                first_out = out_index
+                first_cands = [state]
+            elif out_index == first_out:
+                first_cands.append(state)
+            else:
+                cands_by_out = {first_out: first_cands, out_index: [state]}
+        forwarded = False
+        if cands_by_out is None:
+            if first_out >= 0:
+                if len(first_cands) == 1:
+                    winner = first_cands[0]
+                    self._arbiters[first_out]._last_winner = winner.key
+                else:
+                    winner = self._arbiters[first_out].choose(first_cands)
+                if winner is not None:
+                    self._forward(winner, self.output_ports[first_out], now)
+                    forwarded = True
+        else:
+            for out_index, candidates in cands_by_out.items():
+                winner = self._arbiters[out_index].choose(candidates)
+                if winner is not None:
+                    self._forward(winner, self.output_ports[out_index], now)
+                    forwarded = True
+        if forwarded:
+            self.wake(1)
+        elif next_busy_free > now:
+            self.wake(next_busy_free - now)
+
+    def _consume_late(self, late: List[int], min_busy: int, now: int) -> None:
+        """Arbitration round where only late-arrived heads can move.
+
+        The plan's entry range is empty, so every VC that was active at the
+        hook is parked (blocked or output-busy) and stays parked — its
+        contribution is already folded into ``min_busy``.  The VCs that
+        went active or credit-unblocked since (the late list) are examined
+        exactly as ``Router._tick``'s scan would examine them now, in gid
+        (= scan) order; the parked VCs' skips are free.
+        """
+        engine = self._engine
+        states = engine.states
+        if len(late) > 1:
+            late.sort()
+        next_busy_free = min_busy
+        first_out = -1
+        first_cands = None
+        cands_by_out = None
+        for gid in late:
+            state = states[gid]
+            vc = state.vc
+            packet = vc._queue[0]
+            cached = vc.head_route
+            if cached is None or cached[0] is not packet:
+                cached = self._head_route(vc, packet)
+            busy_until = cached[2].busy_until
+            if busy_until > now:
+                if next_busy_free == 0 or busy_until < next_busy_free:
+                    next_busy_free = busy_until
+                continue
+            downstream_vc = cached[4]
+            reserved = downstream_vc._reserved_flits
+            if reserved + packet.num_flits > downstream_vc.capacity_flits and reserved:
+                state.blocked = True
+                state.blocked_port = cached[2]
+                downstream_vc.wait_for_space(state.on_credit)
+                engine.blocked[gid] = True
+                engine.blocked_port[gid] = cached[2]._soa_gid
+                continue
+            out_index = cached[1]
+            state.packet = packet
+            if cands_by_out is not None:
+                candidates = cands_by_out.get(out_index)
+                if candidates is None:
+                    cands_by_out[out_index] = [state]
+                else:
+                    candidates.append(state)
+            elif first_out < 0:
+                first_out = out_index
+                first_cands = [state]
+            elif out_index == first_out:
+                first_cands.append(state)
+            else:
+                cands_by_out = {first_out: first_cands, out_index: [state]}
+        forwarded = False
+        if cands_by_out is None:
+            if first_out >= 0:
+                if len(first_cands) == 1:
+                    winner = first_cands[0]
+                    self._arbiters[first_out]._last_winner = winner.key
+                else:
+                    winner = self._arbiters[first_out].choose(first_cands)
+                if winner is not None:
+                    self._forward(winner, self.output_ports[first_out], now)
+                    forwarded = True
+        else:
+            for out_index, candidates in cands_by_out.items():
+                winner = self._arbiters[out_index].choose(candidates)
+                if winner is not None:
+                    self._forward(winner, self.output_ports[out_index], now)
+                    forwarded = True
+        if forwarded:
+            self.wake(1)
+        elif next_busy_free > now:
+            self.wake(next_busy_free - now)
+
+
+class VectorNetworkInterface(NetworkInterface):
+    """NetworkInterface whose injections pre-announce the delivery cycle.
+
+    The engine swaps this class in at :meth:`VectorTransportEngine.finalize`
+    for every plain interface attached to one of its routers.  The tick
+    body is the scalar injection loop verbatim; the only addition is the
+    arrival record, so the attached router's delivery-cycle tick can
+    consume a plan instead of falling back to the scalar scan.
+    """
+
+    _vector_engine = None
+    _vector_rid = -1
+
+    def _tick(self) -> None:
+        if self._router is None:
+            raise RuntimeError(f"{self.name}: interface not attached to a router")
+        progressed = False
+        injected = False
+        schedule_delivery = self.sim.schedule_delivery
+        for queue, vc_index, vc in self._inject_vcs:
+            if not queue:
+                continue
+            packet = queue[0]
+            flits = packet.num_flits
+            # Inlined can_reserve/reserve, as in NetworkInterface._tick.
+            reserved = vc._reserved_flits
+            if reserved + flits <= vc.capacity_flits or not reserved:
+                vc._reserved_flits = reserved + flits
+                queue.popleft()
+                schedule_delivery(
+                    self._router, packet, self._router_port, vc_index, self.injection_latency
+                )
+                injected = True
+                if queue:
+                    progressed = True
+            else:
+                vc.wait_for_space(self._credit_wake)
+        if injected:
+            arrivals = self._vector_engine._arrivals
+            cyc = self.sim.cycle + self.injection_latency
+            lst = arrivals.get(cyc)
+            if lst is None:
+                arrivals[cyc] = [self._vector_rid]
+            else:
+                lst.append(self._vector_rid)
+        if progressed:
+            self.wake(1)
+
+
+class VectorTransportEngine:
+    """Batches all woken routers' arbitration classification per cycle.
+
+    One engine per network.  :meth:`finalize` assigns the dense id spaces
+    (see :mod:`repro.sim.soa`), creates every ``_VectorVcState`` eagerly,
+    instruments the VCs' pop write-through slots, and registers
+    :meth:`on_cycle` with the kernel.  From then on the engine computes a
+    per-router *plan* at the start of each simulated cycle; routers consume
+    their plan in ``VectorRouter._tick``.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.routers: List[VectorRouter] = []
+        self.states: List[_VectorVcState] = []
+        self.arrays: Optional[TransportArrays] = None
+        #: rid -> gids activated/unblocked after the cycle's batch ran.
+        self._late: Dict[int, List[int]] = {}
+        #: delivery cycle -> rids receiving a packet that cycle, recorded
+        #: by the delivery producers so the hook can plan arrival wakes.
+        self._arrivals: Dict[int, List[int]] = {}
+        # The cycle's entry verdicts as flat parallel lists (gid order);
+        # routers index them through their plan's [lo, hi) range.
+        self._entry_gids: List[int] = []
+        self._entry_over: List[bool] = []
+        self._entry_out: List[int] = []
+        # Published per-router plans: plain python lists indexed by rid
+        # (allocated in finalize), read once per tick where list indexing
+        # beats numpy scalar extraction by an order of magnitude.
+        self._plan_stamp: List[int] = []
+        self._plan_lo: List[int] = []
+        self._plan_hi: List[int] = []
+        self._plan_min: List[int] = []
+        # Hot-array aliases, bound in finalize().
+        self.active = None
+        self.blocked = None
+        self.route_valid = None
+        self.vc_reserved = None
+        self.port_busy = None
+        self.blocked_port = None
+
+    # ------------------------------------------------------------------ #
+    def finalize(self, routers: List[VectorRouter], interfaces=()) -> None:
+        """Assign id spaces, allocate mirrors, and hook into the kernel.
+
+        Must run after network construction completes and before any
+        traffic flows (the builders call it at the end of ``__init__``,
+        passing the network's interfaces so injection ticks can
+        pre-announce arrivals).
+        """
+        if self.arrays is not None:
+            raise RuntimeError("VectorTransportEngine.finalize called twice")
+        states = self.states
+        for rid, router in enumerate(routers):
+            router._engine = self
+            router._rid = rid
+            self.routers.append(router)
+            local_ports = router._local_input_ports
+            for in_port, port in enumerate(router.input_ports):
+                row = router._vc_state_rows[in_port]
+                is_local = in_port in local_ports
+                for vc_index, vc in enumerate(port.vcs):
+                    state = _VectorVcState(router, in_port, vc_index, vc, is_local)
+                    state.gid = len(states)
+                    row[vc_index] = state
+                    states.append(state)
+        num_states = len(states)
+        ports: list = []
+        for router in routers:
+            for port in router.output_ports:
+                port._soa_gid = len(ports)
+                ports.append(port)
+        # VC gids: states' own VCs first (vc gid == owning state gid), then
+        # ejection-side VCs, which park route invalidations in the scrap
+        # slot ``num_states``.
+        vcs: list = []
+        seen_vcs = set()
+        for state in states:
+            vc = state.vc
+            vc._soa_gid = len(vcs)
+            vc._soa_state_gid = state.gid
+            vcs.append(vc)
+            seen_vcs.add(id(vc))
+        for router in routers:
+            for port in router.output_ports:
+                downstream_port = port.downstream.input_ports[port.downstream_port]
+                for vc in downstream_port.vcs:
+                    if id(vc) not in seen_vcs:
+                        seen_vcs.add(id(vc))
+                        vc._soa_gid = len(vcs)
+                        vc._soa_state_gid = num_states
+                        vcs.append(vc)
+        arrays = TransportArrays(len(routers), num_states, len(ports), len(vcs))
+        self.arrays = arrays
+        state_router = arrays.state_router
+        for gid, state in enumerate(states):
+            state_router[gid] = state._router._rid
+        for gid, vc in enumerate(vcs):
+            arrays.vc_cap[gid] = vc.capacity_flits
+            arrays.vc_reserved[gid] = vc._reserved_flits
+            vc._soa_reserved = arrays.vc_reserved
+            vc._soa_route_valid = arrays.route_valid
+        for gid, port in enumerate(ports):
+            arrays.port_busy[gid] = port.busy_until
+        for rid, router in enumerate(routers):
+            arrays.next_wake[rid] = router._next_wake
+            router._soa_next_wake = arrays.next_wake
+        # Static delivery targets: each output port knows the rid its
+        # packets wake (or -1 for ejection interfaces), and each plain
+        # interface becomes a pre-announcing one.
+        for router in routers:
+            for port in router.output_ports:
+                sink = port.downstream
+                port._soa_sink_rid = (
+                    sink._rid if getattr(sink, "_engine", None) is self else -1
+                )
+        for interface in interfaces:
+            if (
+                type(interface) is NetworkInterface
+                and getattr(interface._router, "_engine", None) is self
+            ):
+                interface.__class__ = VectorNetworkInterface
+                interface._vector_engine = self
+                interface._vector_rid = interface._router._rid
+        self.active = arrays.active
+        self.blocked = arrays.blocked
+        self.route_valid = arrays.route_valid
+        self.vc_reserved = arrays.vc_reserved
+        self.port_busy = arrays.port_busy
+        self.blocked_port = arrays.blocked_port
+        num_routers = len(routers)
+        self._plan_stamp = [-1] * num_routers
+        self._plan_lo = [0] * num_routers
+        self._plan_hi = [0] * num_routers
+        self._plan_min = [0] * num_routers
+        self.sim.register_cycle_hook(self.on_cycle)
+
+    # ------------------------------------------------------------------ #
+    def on_cycle(self, t: int) -> None:
+        """Classify every woken router's heads for cycle ``t`` in bulk."""
+        arrivals = self._arrivals.pop(t, None)
+        if self._late:
+            self._late.clear()
+        arrays = self.arrays
+        woken = arrays.next_wake == t
+        if arrivals is not None:
+            woken[arrivals] = True
+        woken_rids = np.nonzero(woken)[0]
+        if woken_rids.size < PLAN_MIN_WOKEN:
+            # Near-idle cycle: stale stamps route every tick to the scalar
+            # reference pass, which is cheaper than planning this few.
+            return
+        state_router = arrays.state_router
+        mask = arrays.active & woken[state_router]
+        idx = np.nonzero(mask)[0]
+        entry_rids = None
+        min_list = None
+        if idx.size:
+            is_blocked = arrays.blocked[idx]
+            free_idx = idx[~is_blocked]
+            blocked_idx = idx[is_blocked]
+            if free_idx.size:
+                valid = arrays.route_valid[free_idx]
+                if not valid.all():
+                    self._resolve_routes(free_idx[~valid])
+                busy = arrays.port_busy[arrays.head_port[free_idx]]
+                is_busy = busy > t
+                ok_idx = free_idx[~is_busy]
+                if ok_idx.size:
+                    down = arrays.head_down_vc[ok_idx]
+                    reserved = arrays.vc_reserved[down]
+                    over = (
+                        (reserved + arrays.head_flits[ok_idx]) > arrays.vc_cap[down]
+                    ) & (reserved > 0)
+                    entry_rids = state_router[ok_idx]
+                    self._entry_gids = ok_idx.tolist()
+                    self._entry_over = over.tolist()
+                    self._entry_out = arrays.head_out[ok_idx].tolist()
+            else:
+                is_busy = None
+            # Busy-expiry contributions: blocked heads' cached ports plus
+            # free heads whose output is currently serializing.
+            parts_idx = []
+            parts_val = []
+            if blocked_idx.size:
+                blocked_busy = arrays.port_busy[arrays.blocked_port[blocked_idx]]
+                m = blocked_busy > t
+                if m.any():
+                    parts_idx.append(blocked_idx[m])
+                    parts_val.append(blocked_busy[m])
+            if free_idx.size and is_busy.any():
+                parts_idx.append(free_idx[is_busy])
+                parts_val.append(busy[is_busy])
+            if parts_idx:
+                if len(parts_idx) == 1:
+                    contrib_idx = parts_idx[0]
+                    contrib_busy = parts_val[0]
+                else:
+                    contrib_idx = np.concatenate(parts_idx)
+                    contrib_busy = np.concatenate(parts_val)
+                scratch = arrays.busy_scratch
+                scratch[woken_rids] = FAR_FUTURE
+                np.minimum.at(scratch, state_router[contrib_idx], contrib_busy)
+                min_list = scratch[woken_rids].tolist()
+        # Publish: one pass over the woken rids, storing into preallocated
+        # python lists (read back by scalar tick code).
+        woken_list = woken_rids.tolist()
+        plan_stamp = self._plan_stamp
+        plan_lo = self._plan_lo
+        plan_hi = self._plan_hi
+        plan_min = self._plan_min
+        if entry_rids is not None:
+            lo_list = np.searchsorted(entry_rids, woken_rids, side="left").tolist()
+            hi_list = np.searchsorted(entry_rids, woken_rids, side="right").tolist()
+            if min_list is not None:
+                for i, rid in enumerate(woken_list):
+                    plan_stamp[rid] = t
+                    plan_lo[rid] = lo_list[i]
+                    plan_hi[rid] = hi_list[i]
+                    m = min_list[i]
+                    plan_min[rid] = 0 if m == FAR_FUTURE else m
+            else:
+                for i, rid in enumerate(woken_list):
+                    plan_stamp[rid] = t
+                    plan_lo[rid] = lo_list[i]
+                    plan_hi[rid] = hi_list[i]
+                    plan_min[rid] = 0
+        elif min_list is not None:
+            for i, rid in enumerate(woken_list):
+                plan_stamp[rid] = t
+                plan_lo[rid] = 0
+                plan_hi[rid] = 0
+                m = min_list[i]
+                plan_min[rid] = 0 if m == FAR_FUTURE else m
+        else:
+            for rid in woken_list:
+                plan_stamp[rid] = t
+                plan_lo[rid] = 0
+                plan_hi[rid] = 0
+                plan_min[rid] = 0
+
+    def _resolve_routes(self, gids) -> None:
+        """Fill the head_* mirrors for states whose route cache is stale.
+
+        Runs python-side (route tables are static dict lookups); also
+        refreshes ``vc.head_route`` via the router's shared cache helper,
+        so the consume path can trust the tuple without re-deriving it.
+        """
+        arrays = self.arrays
+        states = self.states
+        head_out = arrays.head_out
+        head_port = arrays.head_port
+        head_down_vc = arrays.head_down_vc
+        head_flits = arrays.head_flits
+        route_valid = arrays.route_valid
+        for gid in gids.tolist():
+            state = states[gid]
+            vc = state.vc
+            packet = vc._queue[0]
+            cached = vc.head_route
+            if cached is None or cached[0] is not packet:
+                cached = state._router._head_route(vc, packet)
+            head_out[gid] = cached[1]
+            head_port[gid] = cached[2]._soa_gid
+            head_down_vc[gid] = cached[4]._soa_gid
+            head_flits[gid] = packet.num_flits
+            route_valid[gid] = True

@@ -111,6 +111,26 @@ class Simulator:
         #: migrated into the ring before the window reaches their cycle.
         self._overflow: list = []
         self._win_end: int = size
+        #: Per-cycle batch hooks (see :meth:`register_cycle_hook`).
+        self._cycle_hooks: List[Callable[[int], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # Per-cycle batch hooks
+    # ------------------------------------------------------------------ #
+    def register_cycle_hook(self, hook: Callable[[int], None]) -> None:
+        """Register ``hook(cycle)``, called once per *simulated* cycle.
+
+        The hook fires at the start of every cycle that executes at least
+        one event, after the clock has advanced to that cycle but strictly
+        before any of the cycle's events run.  All events scheduled for the
+        cycle by *earlier* cycles are already queued at that point (per-hop
+        latencies are >= 1 cycle), so a hook sees a complete pre-cycle
+        snapshot — this is what lets the vectorized transport engine
+        (``repro.noc.vector``) classify one cycle's router wakes as a
+        single batch.  Hooks must not schedule events or advance the clock;
+        they only read component state and prepare per-cycle plans.
+        """
+        self._cycle_hooks.append(hook)
 
     # ------------------------------------------------------------------ #
     # Scheduling
@@ -220,6 +240,7 @@ class Simulator:
         mask = self._mask
         horizon = self._horizon
         overflow = self._overflow
+        hooks = self._cycle_hooks
         t = self.cycle
         try:
             while t <= end_cycle:
@@ -234,6 +255,9 @@ class Simulator:
                 if bucket:
                     self.cycle = t
                     self._win_end = t + horizon
+                    if hooks:
+                        for hook in hooks:
+                            hook(t)
                     i = 0
                     try:
                         # A for-loop over a growing list picks up same-cycle
@@ -278,6 +302,7 @@ class Simulator:
         mask = self._mask
         horizon = self._horizon
         overflow = self._overflow
+        hooks = self._cycle_hooks
         t = self.cycle
         try:
             while True:
@@ -297,6 +322,9 @@ class Simulator:
                 if bucket:
                     self.cycle = t
                     self._win_end = t + horizon
+                    if hooks:
+                        for hook in hooks:
+                            hook(t)
                     i = 0
                     try:
                         for i, (callback, args) in enumerate(bucket, 1):
@@ -384,6 +412,7 @@ class HeapSimulator(Simulator):
         self._events_processed = 0
         self._running = False
         self._queue: list = []
+        self._cycle_hooks: List[Callable[[int], None]] = []
 
     # ------------------------------------------------------------------ #
     def schedule_at(self, callback: Callable[[], None], cycle: int) -> None:
@@ -419,10 +448,18 @@ class HeapSimulator(Simulator):
         processed = 0
         queue = self._queue
         pop = heapq.heappop
+        hooks = self._cycle_hooks
         try:
             while queue and queue[0][0] <= end_cycle:
                 cycle, _seq, callback, args = pop(queue)
-                self.cycle = cycle
+                # Same batch-hook contract as the calendar kernel: fire once
+                # per cycle that executes events, before any of them runs.
+                if hooks and cycle > self.cycle:
+                    self.cycle = cycle
+                    for hook in hooks:
+                        hook(cycle)
+                else:
+                    self.cycle = cycle
                 processed += 1
                 callback(*args)
             if end_cycle > self.cycle:
@@ -440,13 +477,19 @@ class HeapSimulator(Simulator):
         limit = None if max_cycles is None else self.cycle + max_cycles
         queue = self._queue
         pop = heapq.heappop
+        hooks = self._cycle_hooks
         try:
             while queue:
                 cycle = queue[0][0]
                 if limit is not None and cycle > limit:
                     break
                 _cycle, _seq, callback, args = pop(queue)
-                self.cycle = cycle
+                if hooks and cycle > self.cycle:
+                    self.cycle = cycle
+                    for hook in hooks:
+                        hook(cycle)
+                else:
+                    self.cycle = cycle
                 processed += 1
                 callback(*args)
             if limit is not None and limit > self.cycle:

@@ -1,0 +1,119 @@
+"""Struct-of-arrays (SoA) state mirrors for the vectorized transport engine.
+
+``repro.noc.vector`` batches one cycle's router arbitration into a handful
+of numpy passes.  To do that it needs every router's per-VC switching state
+laid out contiguously: this module owns the numpy availability gate (numpy
+is an *optional* dependency — callers must check :data:`HAVE_NUMPY` before
+allocating) and the :class:`TransportArrays` container that preallocates
+the full mirror once per network.
+
+Index spaces
+------------
+Four dense integer id spaces are assigned at engine finalization and never
+change afterwards:
+
+``rid``
+    Router id, in network registration order.
+``gid`` (state id)
+    One per (input port, VC) pair, contiguous per router in ``(in_port,
+    vc_index)`` lexicographic order — so ascending gid order *is* the scan
+    order of ``Router._tick`` over its sorted active list, which is what
+    lets ``np.nonzero`` reproduce scalar arbitration order exactly.
+``port gid``
+    One per router output port, in (router, port index) order.
+``vc gid``
+    One per virtual-channel buffer reachable as a forwarding destination:
+    every router input VC (where ``vc gid == gid`` of the owning state)
+    followed by the ejection-side VCs, which have no owning state and
+    point their route-invalidation writes at the scrap slot ``num_states``
+    (hence ``route_valid`` is one element longer than the state count).
+
+All arrays are int64/bool and preallocated; per-cycle work never allocates
+a mirror, only reads and scatters into these.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised implicitly by every vector-mode test
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - numpy-less environments
+    np = None
+    HAVE_NUMPY = False
+
+#: Sentinel for "no busy-port contribution" in per-router minimum scans;
+#: larger than any reachable ``busy_until`` (cycles are well below 2**62).
+FAR_FUTURE = 2**62
+
+
+class TransportArrays:
+    """Preallocated SoA mirror of the per-router/VC/port switching state.
+
+    Pure data: the vector engine owns every invariant about *when* each
+    array is written (see ``repro.noc.vector``).  Mirrors:
+
+    - ``next_wake[rid]`` — the router's pending ``_next_wake`` target (the
+      mirror may lag behind a consumed wake; it is only ever compared for
+      equality against the current cycle, which a stale past value can
+      never match again).
+    - ``active[gid]`` / ``blocked[gid]`` — membership in the router's
+      ``_active_vcs`` list and the credit-blocked flag.
+    - ``route_valid[gid]`` + ``head_out/head_port/head_down_vc/head_flits``
+      — the cached head routing decision, invalidated by every ``pop``.
+    - ``blocked_port[gid]`` — port gid the blocked head waits on (only
+      meaningful while ``blocked``).
+    - ``state_router[gid]`` — owning rid (static after finalization).
+    - ``port_busy[port gid]`` — ``OutputPort.busy_until``.
+    - ``vc_reserved/vc_cap[vc gid]`` — downstream admission state.
+
+    Published per-router plans live on the engine as plain python lists,
+    not here: they are read once per tick by scalar python code, where
+    list indexing beats numpy scalar extraction by an order of magnitude.
+    """
+
+    __slots__ = (
+        "num_routers",
+        "num_states",
+        "num_ports",
+        "num_vcs",
+        "next_wake",
+        "active",
+        "blocked",
+        "route_valid",
+        "head_out",
+        "head_port",
+        "head_down_vc",
+        "head_flits",
+        "blocked_port",
+        "state_router",
+        "port_busy",
+        "vc_reserved",
+        "vc_cap",
+        "busy_scratch",
+    )
+
+    def __init__(self, num_routers: int, num_states: int, num_ports: int, num_vcs: int) -> None:
+        if not HAVE_NUMPY:  # pragma: no cover - guarded by every caller
+            raise RuntimeError("TransportArrays requires numpy")
+        self.num_routers = num_routers
+        self.num_states = num_states
+        self.num_ports = num_ports
+        self.num_vcs = num_vcs
+        self.next_wake = np.full(num_routers, -1, dtype=np.int64)
+        self.active = np.zeros(num_states, dtype=bool)
+        self.blocked = np.zeros(num_states, dtype=bool)
+        # One scrap slot at index num_states absorbs route invalidations
+        # from ejection-side VCs that have no owning state.
+        self.route_valid = np.zeros(num_states + 1, dtype=bool)
+        self.head_out = np.zeros(num_states, dtype=np.int64)
+        self.head_port = np.zeros(num_states, dtype=np.int64)
+        self.head_down_vc = np.zeros(num_states, dtype=np.int64)
+        self.head_flits = np.zeros(num_states, dtype=np.int64)
+        self.blocked_port = np.zeros(num_states, dtype=np.int64)
+        self.state_router = np.zeros(num_states, dtype=np.int64)
+        self.port_busy = np.zeros(num_ports, dtype=np.int64)
+        self.vc_reserved = np.zeros(num_vcs, dtype=np.int64)
+        self.vc_cap = np.zeros(num_vcs, dtype=np.int64)
+        # Per-router scratch for the batched busy-expiry minimum scan.
+        self.busy_scratch = np.full(num_routers, FAR_FUTURE, dtype=np.int64)

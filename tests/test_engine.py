@@ -14,6 +14,7 @@ import pytest
 from repro.chip.chip import SimulationResults
 from repro.config import presets
 from repro.config.noc import Topology
+from repro.experiments import engine
 from repro.experiments.engine import (
     CACHE_SCHEMA_VERSION,
     MODEL_VERSION,
@@ -399,3 +400,49 @@ class TestSweepExecutor:
         assert executor.last_stats.simulations_run == 0
         assert executor.last_stats.cache_hits == points
         assert [r.result for r in second] == [r.result for r in first]
+
+
+class TestPointProfiling:
+    """REPRO_PROFILE=1: per-point cProfile output next to the cache entry."""
+
+    def test_profile_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert not engine.profiling_enabled()
+        for off in ("0", "off", "false", "no", ""):
+            monkeypatch.setenv("REPRO_PROFILE", off)
+            assert not engine.profiling_enabled()
+
+    def test_profiled_point_writes_pstats_and_table(self, tmp_path, monkeypatch):
+        import pstats
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        point = tiny_point()
+        result = engine.execute_point(point)
+        assert result.total_instructions > 0
+
+        stem = point.content_hash()
+        raw = tmp_path / f"{stem}.pstats"
+        table = tmp_path / f"{stem}.profile.txt"
+        assert raw.exists() and table.exists()
+        # The raw dump must load back as a pstats database with real samples.
+        stats = pstats.Stats(str(raw))
+        assert stats.total_calls > 0
+        # The rendered table names the point and shows the top functions by
+        # cumulative time (the chip run itself must be among them).
+        text = table.read_text()
+        assert stem in text
+        assert "cumulative" in text
+        assert "run_experiment" in text
+
+    def test_profiles_do_not_confuse_the_cache(self, tmp_path, monkeypatch):
+        """Profile droppings next to entries must not count as entries."""
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        cache = ResultCache(tmp_path)
+        point = tiny_point()
+        result = engine.execute_point(point)
+        assert cache.load(point) is None  # profiling never populates the cache
+        cache.store(point, result)
+        loaded = cache.load(point)
+        assert loaded is not None
+        assert loaded.to_dict() == result.to_dict()

@@ -1,0 +1,248 @@
+"""Cross-transport determinism battery for the vectorized NoC engine.
+
+``REPRO_TRANSPORT=vector`` swaps the per-router scalar ticks for the
+batched :class:`repro.noc.vector.VectorTransportEngine` and must be
+*bit-identical* to the scalar reference — same event counts, same stats
+trees, no ``MODEL_VERSION`` bump.  This module proves that across the
+mesh-family fabrics (mesh, cmesh, chiplet), under both kernels (calendar
+and heap), on a tenanted open-loop chip, and across process restarts with
+different hash seeds; plus the selection plumbing — env validation,
+numpy-less fallback, and the non-mesh-fabric fallback warning.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.chip.builder import build_chip, build_network
+from repro.chip.chip import Chip
+from repro.chip.system_map import build_system_map
+from repro.config.noc import NocConfig, Topology
+from repro.config.system import SystemConfig
+from repro.fabrics import ChipletNetwork, ChipletSystemMap, chiplet_system, cmesh_system
+from repro.noc.interface import NetworkInterface
+from repro.noc.mesh import MeshNetwork
+from repro.noc.vector import (
+    TRANSPORT_ENV_VAR,
+    VectorNetworkInterface,
+    VectorRouter,
+    VectorTransportEngine,
+    resolve_transport,
+    transport_mode,
+)
+from repro.sim.kernel import HeapSimulator, Simulator
+from repro.sim.soa import HAVE_NUMPY
+from repro.tenancy import build_placement
+from repro.workloads.traffic import UniformRandomTrafficGenerator
+
+from tests._fixtures import small_system
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Tests that need REPRO_TRANSPORT=vector to actually engage (without
+#: numpy it falls back to scalar, which its own test covers).
+needs_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="numpy unavailable: vector falls back to scalar"
+)
+
+#: Injection rate for the determinism runs: heavy enough (with 64-bit
+#: links) that credit blocking, busy-port wakes, multi-candidate
+#: arbitration and the engine's late/fallback paths all exercise.
+RATE = 0.2
+
+
+def stats_blob(sim, network, generator) -> str:
+    tree = {
+        "events": sim.events_processed,
+        "network": network.stats.to_dict(),
+        "generator": generator.stats.to_dict(),
+        "interfaces": {
+            node: (ni.messages_injected, ni.messages_delivered, ni.flits_injected)
+            for node, ni in network.interfaces.items()
+        },
+    }
+    return json.dumps(tree, sort_keys=True, default=str)
+
+
+def run_mesh(kernel_cls):
+    sim = kernel_cls(seed=3)
+    config = small_system(Topology.MESH, num_cores=16, link_width_bits=64)
+    coords = {i: (i % 4, i // 4) for i in range(16)}
+    network = MeshNetwork(sim, config, coords)
+    generator = UniformRandomTrafficGenerator(sim, network, list(coords), RATE, seed=5)
+    generator.start()
+    sim.run(2_000)
+    return stats_blob(sim, network, generator)
+
+
+def run_cmesh(kernel_cls):
+    sim = kernel_cls(seed=3)
+    config = cmesh_system(num_cores=64, link_width_bits=64)
+    system_map = build_system_map(config)
+    network = build_network(sim, config, system_map)
+    nodes = list(range(64))
+    generator = UniformRandomTrafficGenerator(sim, network, nodes, RATE, seed=5)
+    generator.start()
+    sim.run(2_000)
+    return stats_blob(sim, network, generator)
+
+
+def run_chiplet(kernel_cls):
+    sim = kernel_cls(seed=3)
+    config = chiplet_system(num_cores=64)
+    network = ChipletNetwork(sim, config, ChipletSystemMap(config))
+    generator = UniformRandomTrafficGenerator(
+        sim, network, list(range(64)), 0.05, seed=7
+    )
+    generator.start()
+    sim.run(2_000)
+    return stats_blob(sim, network, generator)
+
+
+SCENARIOS = {"mesh": run_mesh, "cmesh": run_cmesh, "chiplet": run_chiplet}
+
+
+# ----------------------------------------------------------------------- #
+# Selection plumbing
+# ----------------------------------------------------------------------- #
+class TestTransportSelection:
+    def test_default_is_scalar(self, monkeypatch):
+        monkeypatch.delenv(TRANSPORT_ENV_VAR, raising=False)
+        assert transport_mode() == "scalar"
+        monkeypatch.setenv(TRANSPORT_ENV_VAR, "scalar")
+        assert transport_mode() == "scalar"
+
+    def test_vector_is_recognized(self, monkeypatch):
+        monkeypatch.setenv(TRANSPORT_ENV_VAR, "  Vector ")
+        assert transport_mode() == "vector"
+
+    def test_unknown_transport_rejected(self, monkeypatch):
+        monkeypatch.setenv(TRANSPORT_ENV_VAR, "simd")
+        with pytest.raises(ValueError, match="REPRO_TRANSPORT"):
+            transport_mode()
+
+    def test_vector_without_numpy_falls_back_with_warning(self, monkeypatch):
+        import repro.noc.vector as vector_module
+
+        monkeypatch.setenv(TRANSPORT_ENV_VAR, "vector")
+        monkeypatch.setattr(vector_module, "HAVE_NUMPY", False)
+        with pytest.warns(RuntimeWarning, match="requires numpy"):
+            assert resolve_transport() == "scalar"
+
+    def test_non_mesh_fabric_falls_back_with_warning(self, monkeypatch):
+        monkeypatch.setenv(TRANSPORT_ENV_VAR, "vector")
+        config = small_system(Topology.IDEAL)
+        sim = Simulator(seed=1)
+        with pytest.warns(RuntimeWarning, match="no .*vectorized transport"):
+            network = build_network(sim, config, build_system_map(config))
+        assert getattr(network, "transport", "scalar") == "scalar"
+
+    @needs_numpy
+    def test_vector_mesh_swaps_router_and_interface_classes(self, monkeypatch):
+        monkeypatch.setenv(TRANSPORT_ENV_VAR, "vector")
+        config = small_system(Topology.MESH, num_cores=16)
+        coords = {i: (i % 4, i // 4) for i in range(16)}
+        network = MeshNetwork(Simulator(seed=1), config, coords)
+        assert network.transport == "vector"
+        assert all(type(r) is VectorRouter for r in network.routers)
+        assert all(
+            type(ni) is VectorNetworkInterface for ni in network.interfaces.values()
+        )
+
+    def test_scalar_mesh_keeps_plain_classes(self, monkeypatch):
+        monkeypatch.delenv(TRANSPORT_ENV_VAR, raising=False)
+        config = small_system(Topology.MESH, num_cores=16)
+        coords = {i: (i % 4, i // 4) for i in range(16)}
+        network = MeshNetwork(Simulator(seed=1), config, coords)
+        assert network.transport == "scalar"
+        assert all(type(r) is not VectorRouter for r in network.routers)
+        assert all(
+            type(ni) is NetworkInterface for ni in network.interfaces.values()
+        )
+
+    @needs_numpy
+    def test_engine_finalize_is_single_shot(self, monkeypatch):
+        monkeypatch.setenv(TRANSPORT_ENV_VAR, "vector")
+        config = small_system(Topology.MESH, num_cores=16)
+        coords = {i: (i % 4, i // 4) for i in range(16)}
+        network = MeshNetwork(Simulator(seed=1), config, coords)
+        engine = network._transport_engine
+        assert isinstance(engine, VectorTransportEngine)
+        with pytest.raises(RuntimeError, match="finalize called twice"):
+            engine.finalize(network.routers)
+
+
+# ----------------------------------------------------------------------- #
+# Bit-identity: fabrics x kernels
+# ----------------------------------------------------------------------- #
+@needs_numpy
+class TestCrossTransportDeterminism:
+    @pytest.mark.parametrize("fabric", sorted(SCENARIOS))
+    @pytest.mark.parametrize(
+        "kernel_cls", [Simulator, HeapSimulator], ids=["calendar", "heap"]
+    )
+    def test_vector_matches_scalar(self, fabric, kernel_cls, monkeypatch):
+        monkeypatch.delenv(TRANSPORT_ENV_VAR, raising=False)
+        scalar = SCENARIOS[fabric](kernel_cls)
+        monkeypatch.setenv(TRANSPORT_ENV_VAR, "vector")
+        vector = SCENARIOS[fabric](kernel_cls)
+        assert scalar == vector
+
+    def test_vector_matches_scalar_on_tenanted_open_loop_chip(self, monkeypatch):
+        def run_chip():
+            wmap = build_placement(
+                "split_half",
+                16,
+                ["Data Serving", "MapReduce-C"],
+                arrival="bursty",
+                rate=0.08,
+            )
+            config = small_system(Topology.MESH, num_cores=16).with_workload_map(wmap)
+            results = Chip(config).run_experiment(
+                warmup_references=300, detailed_warmup_cycles=200, measure_cycles=600
+            )
+            return json.dumps(results.to_dict(), sort_keys=True, default=str)
+
+        monkeypatch.delenv(TRANSPORT_ENV_VAR, raising=False)
+        scalar = run_chip()
+        monkeypatch.setenv(TRANSPORT_ENV_VAR, "vector")
+        vector = run_chip()
+        assert scalar == vector
+
+    def test_vector_chip_is_stable_across_process_restarts(self):
+        script = (
+            "import hashlib, json\n"
+            "from repro.chip.builder import build_chip\n"
+            "from repro.config import presets\n"
+            "from tests._fixtures import small_system\n"
+            "from repro.config.noc import Topology\n"
+            "config = small_system(Topology.MESH, num_cores=16).with_workload("
+            "presets.workload('MapReduce-W'))\n"
+            "results = build_chip(config).run_experiment(warmup_references=300,"
+            " detailed_warmup_cycles=200, measure_cycles=600)\n"
+            "blob = json.dumps(results.to_dict(), sort_keys=True, default=str)\n"
+            "print(hashlib.sha256(blob.encode('utf-8')).hexdigest())\n"
+        )
+        digests = []
+        for hash_seed in ("0", "1"):
+            env = dict(os.environ)
+            env["PYTHONPATH"] = os.pathsep.join(
+                [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+            )
+            env["PYTHONHASHSEED"] = hash_seed
+            env[TRANSPORT_ENV_VAR] = "vector"
+            completed = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            digests.append(completed.stdout.strip())
+        assert digests[0] == digests[1]
